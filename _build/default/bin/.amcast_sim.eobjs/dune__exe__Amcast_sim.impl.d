@@ -1,0 +1,1 @@
+bin/amcast_sim.ml: Amcast Arg Cmd Cmdliner Des Fmt Harness Latency List Net Rng Runtime Sim_time String Term Topology

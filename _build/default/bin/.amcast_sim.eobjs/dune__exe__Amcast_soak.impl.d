@@ -1,0 +1,1 @@
+bin/amcast_soak.ml: Amcast Array Fmt Harness List Sys

@@ -1,0 +1,1 @@
+bin/amcast_soak.mli:

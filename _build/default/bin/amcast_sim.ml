@@ -1,0 +1,258 @@
+(* amcast_sim — run any protocol of the library on a simulated WAN from the
+   command line and report deliveries, latency degrees, message counts and
+   the correctness checks.
+
+   Examples:
+     amcast_sim --protocol a1 --groups 3 --per-group 2 --messages 10
+     amcast_sim --protocol a2 --messages 5 --gap-ms 10 --print-trace
+     amcast_sim --protocol a1 --crash 2@5 --seed 7 *)
+
+open Des
+open Net
+open Cmdliner
+
+type proto =
+  | P_a1
+  | P_a2
+  | P_skeen
+  | P_ring
+  | P_scalable
+  | P_sequencer
+  | P_optimistic
+  | P_via_broadcast
+  | P_detmerge
+  | P_fritzke
+
+let proto_assoc =
+  [
+    ("a1", P_a1);
+    ("a2", P_a2);
+    ("skeen", P_skeen);
+    ("ring", P_ring);
+    ("scalable", P_scalable);
+    ("sequencer", P_sequencer);
+    ("optimistic", P_optimistic);
+    ("via-broadcast", P_via_broadcast);
+    ("detmerge", P_detmerge);
+    ("fritzke", P_fritzke);
+  ]
+
+let module_of = function
+  | P_a1 -> (module Amcast.A1 : Amcast.Protocol.S)
+  | P_a2 -> (module Amcast.A2)
+  | P_skeen -> (module Amcast.Skeen)
+  | P_ring -> (module Amcast.Ring)
+  | P_scalable -> (module Amcast.Scalable)
+  | P_sequencer -> (module Amcast.Sequencer)
+  | P_optimistic -> (module Amcast.Optimistic)
+  | P_via_broadcast -> (module Amcast.Via_broadcast)
+  | P_detmerge -> (module Amcast.Detmerge)
+  | P_fritzke -> (module Amcast.Fritzke)
+
+(* Broadcast-only protocols must receive dest = all groups. *)
+let broadcast_only = function
+  | P_a2 | P_sequencer | P_optimistic -> true
+  | P_a1 | P_skeen | P_ring | P_scalable | P_via_broadcast | P_detmerge
+  | P_fritzke ->
+    false
+
+(* Protocols that never quiesce need a horizon. *)
+let needs_horizon = function P_detmerge -> true | _ -> false
+
+let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
+    inter_ms intra_ms horizon_ms print_trace print_timeline genuine_check
+    heartbeat_fd =
+  let topo = Topology.symmetric ~groups ~per_group in
+  let latency =
+    Latency.uniform
+      ~intra:(Sim_time.of_ms intra_ms)
+      ~inter:(Sim_time.of_ms inter_ms)
+      ()
+  in
+  let rng = Rng.create seed in
+  let dest_kind =
+    if broadcast_only proto then Harness.Workload.To_all_groups
+    else Harness.Workload.Random_groups (min kmax groups)
+  in
+  let workload =
+    Harness.Workload.generate ~rng ~topology:topo ~n:messages ~dest:dest_kind
+      ~arrival:
+        (if poisson then `Poisson (Sim_time.of_ms gap_ms)
+         else `Every (Sim_time.of_ms gap_ms))
+      ()
+  in
+  let faults =
+    List.map
+      (fun (pid, at_ms) ->
+        Harness.Runner.crash ~at:(Sim_time.of_ms at_ms) pid)
+      crashes
+  in
+  let until =
+    match horizon_ms with
+    | Some h -> Some (Sim_time.of_ms h)
+    | None ->
+      if needs_horizon proto then
+        Some (Sim_time.of_ms (2_000 + (messages * gap_ms)))
+      else None
+  in
+  let config =
+    if heartbeat_fd then
+      {
+        Amcast.Protocol.Config.default with
+        fd_mode =
+          Amcast.Protocol.Config.Heartbeat
+            {
+              period = Sim_time.of_ms 5;
+              timeout = Sim_time.of_ms (4 * intra_ms * 10);
+            };
+      }
+    else Amcast.Protocol.Config.default
+  in
+  let until =
+    (* A heartbeat detector never quiesces: force a horizon. *)
+    if heartbeat_fd && until = None then
+      Some (Sim_time.of_ms (3_000 + (messages * gap_ms)))
+    else until
+  in
+  let (module P) = module_of proto in
+  let module R = Harness.Runner.Make (P) in
+  let r = R.run ~seed ~latency ~config ~faults ?until topo workload in
+  Fmt.pr "== %s on %d groups x %d processes ==@." P.name groups per_group;
+  Fmt.pr "%a@." Harness.Run_result.pp_summary r;
+  Fmt.pr "@.per-message latency degrees:@.";
+  List.iter
+    (fun (id, deg) ->
+      Fmt.pr "  %a: %s@." Runtime.Msg_id.pp id
+        (match deg with Some d -> string_of_int d | None -> "undelivered"))
+    (Harness.Metrics.latency_degrees r);
+  (match Harness.Metrics.mean_delivery_latency_ms r with
+  | Some l -> Fmt.pr "@.mean cast-to-last-delivery: %.1fms@." l
+  | None -> ());
+  Fmt.pr "@.inter-group messages by kind:@.";
+  List.iter
+    (fun (tag, n) -> Fmt.pr "  %-16s %d@." tag n)
+    (Harness.Metrics.messages_by_tag r);
+  if print_trace then Fmt.pr "@.trace:@.%a@." Runtime.Trace.pp r.trace;
+  if print_timeline then
+    Fmt.pr "@.timeline:@.%a@."
+      (Harness.Trace_render.pp ?max_rows:None ~topology:topo)
+      r.trace;
+  let violations =
+    Harness.Checker.check_all ~expect_genuine:genuine_check r
+  in
+  if violations = [] then begin
+    Fmt.pr "@.all correctness checks passed.@.";
+    0
+  end
+  else begin
+    Fmt.pr "@.VIOLATIONS:@.%a@."
+      Fmt.(list ~sep:(any "@.") string)
+      violations;
+    1
+  end
+
+(* ----- cmdliner terms ----- *)
+
+let proto_t =
+  let protocol_conv = Arg.enum proto_assoc in
+  Arg.(
+    value
+    & opt protocol_conv P_a1
+    & info [ "p"; "protocol" ] ~docv:"PROTO"
+        ~doc:
+          "Protocol to run: $(b,a1) (genuine atomic multicast), $(b,a2) \
+           (atomic broadcast), or a baseline ($(b,skeen), $(b,ring), \
+           $(b,scalable), $(b,sequencer), $(b,optimistic), \
+           $(b,via-broadcast), $(b,detmerge), $(b,fritzke)).")
+
+let groups_t =
+  Arg.(value & opt int 3 & info [ "g"; "groups" ] ~doc:"Number of groups.")
+
+let per_group_t =
+  Arg.(
+    value & opt int 2
+    & info [ "d"; "per-group" ] ~doc:"Processes per group.")
+
+let messages_t =
+  Arg.(value & opt int 5 & info [ "n"; "messages" ] ~doc:"Messages to cast.")
+
+let seed_t = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+let gap_t =
+  Arg.(
+    value & opt int 20
+    & info [ "gap-ms" ] ~doc:"Cast interval (or Poisson mean) in ms.")
+
+let poisson_t =
+  Arg.(value & flag & info [ "poisson" ] ~doc:"Poisson arrivals.")
+
+let kmax_t =
+  Arg.(
+    value & opt int 3
+    & info [ "k" ] ~doc:"Maximum destination groups per multicast.")
+
+let crash_t =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ pid; at ] -> (
+      match (int_of_string_opt pid, int_of_string_opt at) with
+      | Some pid, Some at -> Ok (pid, at)
+      | _ -> Error (`Msg "expected PID@MS"))
+    | _ -> Error (`Msg "expected PID@MS")
+  in
+  let print ppf (pid, at) = Fmt.pf ppf "%d@%d" pid at in
+  Arg.(
+    value
+    & opt_all (conv (parse, print)) []
+    & info [ "crash" ] ~docv:"PID@MS"
+        ~doc:"Crash process $(i,PID) at $(i,MS) milliseconds (repeatable).")
+
+let inter_t =
+  Arg.(
+    value & opt int 50
+    & info [ "inter-ms" ] ~doc:"Inter-group latency in ms.")
+
+let intra_t =
+  Arg.(
+    value & opt int 1 & info [ "intra-ms" ] ~doc:"Intra-group latency in ms.")
+
+let horizon_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "until-ms" ] ~doc:"Stop the simulation at this virtual time.")
+
+let trace_t =
+  Arg.(value & flag & info [ "print-trace" ] ~doc:"Dump the event trace.")
+
+let timeline_t =
+  Arg.(
+    value & flag
+    & info [ "print-timeline" ]
+        ~doc:"Render the trace as a per-process timeline.")
+
+let heartbeat_t =
+  Arg.(
+    value & flag
+    & info [ "fd-heartbeat" ]
+        ~doc:
+          "Drive A1/A2 consensus with the message-based heartbeat failure \
+           detector instead of the oracle (never quiescent: a horizon is \
+           applied).")
+
+let genuine_t =
+  Arg.(
+    value & flag
+    & info [ "check-genuine" ]
+        ~doc:"Additionally check genuineness (for multicast protocols).")
+
+let cmd =
+  let doc = "simulate atomic broadcast/multicast protocols on a WAN" in
+  let info = Cmd.info "amcast_sim" ~doc in
+  Cmd.v info
+    Term.(
+      const run_cli $ proto_t $ groups_t $ per_group_t $ messages_t $ seed_t
+      $ gap_t $ poisson_t $ kmax_t $ crash_t $ inter_t $ intra_t $ horizon_t
+      $ trace_t $ timeline_t $ genuine_t $ heartbeat_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,43 @@
+(* amcast_soak — randomised soak campaigns over every protocol.
+
+   Runs N random scenarios (topology, workload, crashes, jitter) per
+   protocol, checks every run against the agreement specifications, and
+   exits non-zero on any violation. The CI-style entry point of the
+   library's chaos testing.
+
+   Usage: amcast_soak [RUNS] [SEED] *)
+
+let () =
+  let runs =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 50
+  in
+  let seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0
+  in
+  (* Fault-tolerant protocols are soaked with crashes; the failure-free
+     baselines (Figure 1's model for them) without. *)
+  let targets =
+    [
+      ("a1", (module Amcast.A1 : Amcast.Protocol.S), false, true, true);
+      ("a2", (module Amcast.A2), true, true, false);
+      ("via-broadcast", (module Amcast.Via_broadcast), false, true, false);
+      ("fritzke", (module Amcast.Fritzke), false, true, true);
+      ("skeen", (module Amcast.Skeen), false, false, true);
+      ("ring", (module Amcast.Ring), false, false, true);
+      ("scalable", (module Amcast.Scalable), false, false, true);
+      ("sequencer", (module Amcast.Sequencer), true, false, false);
+    ]
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, proto, broadcast_only, with_crashes, expect_genuine) ->
+      Fmt.pr "@.== %s: %d runs%s ==@." name runs
+        (if with_crashes then " (with crash injection)" else "");
+      let summary =
+        Harness.Campaign.run proto ~expect_genuine ~broadcast_only
+          ~with_crashes ~seed ~runs ()
+      in
+      Fmt.pr "%a@." Harness.Campaign.pp_summary summary;
+      if summary.failures <> [] then failed := true)
+    targets;
+  if !failed then exit 1 else Fmt.pr "@.soak clean.@."

@@ -1,0 +1,1 @@
+examples/global_ledger.ml: Amcast Array Des Fmt Harness Hashtbl List Net Option Runtime Sim_time String Topology

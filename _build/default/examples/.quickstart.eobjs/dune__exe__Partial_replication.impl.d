@@ -1,0 +1,1 @@
+examples/partial_replication.ml: Amcast Array Des Fmt Harness Int List Net Sim_time String Topology

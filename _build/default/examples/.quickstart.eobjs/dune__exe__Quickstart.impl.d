@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amcast Des Fmt Harness List Net Sim_time Topology

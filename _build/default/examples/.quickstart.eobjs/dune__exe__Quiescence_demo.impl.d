@@ -1,0 +1,1 @@
+examples/quiescence_demo.ml: Amcast Des Fmt Harness Hashtbl List Net Option Runtime Sim_time String Topology

@@ -1,0 +1,1 @@
+examples/quiescence_demo.mli:

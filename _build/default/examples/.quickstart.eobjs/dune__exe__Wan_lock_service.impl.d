@@ -1,0 +1,1 @@
+examples/wan_lock_service.ml: Amcast Array Des Fmt Harness List Net Sim_time String Topology

@@ -1,0 +1,1 @@
+lib/consensus/paxos.ml: Array Des Fd Fmt Hashtbl Int List Net Runtime Sim_time Topology

@@ -1,0 +1,1 @@
+lib/consensus/paxos.mli: Des Fd Format Net Runtime

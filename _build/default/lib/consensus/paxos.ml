@@ -1,0 +1,334 @@
+open Des
+open Net
+
+type 'v msg =
+  | Suggest of { instance : int; value : 'v }
+      (* Proposal forwarding: a non-coordinator hands its input to the
+         current coordinator so that a coordinator with no local input can
+         still drive the instance. *)
+  | Prepare of { instance : int; ballot : int }
+  | Promise of {
+      instance : int;
+      ballot : int;
+      accepted : (int * 'v) option;
+    }
+  | Accept of { instance : int; ballot : int; value : 'v }
+  | Accepted of { instance : int; ballot : int }
+  | Decide of { instance : int; value : 'v }
+
+let tag = function
+  | Suggest _ -> "cons.suggest"
+  | Prepare _ -> "cons.prepare"
+  | Promise _ -> "cons.promise"
+  | Accept _ -> "cons.accept"
+  | Accepted _ -> "cons.accepted"
+  | Decide _ -> "cons.decide"
+
+let pp_msg ppf m =
+  match m with
+  | Suggest { instance; _ } -> Fmt.pf ppf "suggest(i%d)" instance
+  | Prepare { instance; ballot } ->
+    Fmt.pf ppf "prepare(i%d,b%d)" instance ballot
+  | Promise { instance; ballot; accepted } ->
+    Fmt.pf ppf "promise(i%d,b%d,%s)" instance ballot
+      (match accepted with None -> "-" | Some (b, _) -> Fmt.str "acc@%d" b)
+  | Accept { instance; ballot; _ } ->
+    Fmt.pf ppf "accept(i%d,b%d)" instance ballot
+  | Accepted { instance; ballot } ->
+    Fmt.pf ppf "accepted(i%d,b%d)" instance ballot
+  | Decide { instance; _ } -> Fmt.pf ppf "decide(i%d)" instance
+
+module Int_tbl = Hashtbl.Make (Int)
+
+type 'v instance = {
+  mutable proposal : 'v option; (* local input or adopted suggestion *)
+  mutable suggested : bool; (* we already forwarded our input *)
+  mutable promised : int; (* acceptor: highest ballot promised *)
+  mutable accepted : (int * 'v) option; (* acceptor: last accepted *)
+  mutable decided : 'v option;
+  (* Coordinator state for the ballot we lead (leading >= 0). *)
+  mutable leading : int;
+  mutable phase1_done : bool;
+  mutable pushed : bool; (* Accept for ballot [leading] was sent *)
+  promises : (Topology.pid, (int * 'v) option) Hashtbl.t;
+  votes : (int, (Topology.pid, unit) Hashtbl.t) Hashtbl.t;
+  ballot_values : (int, 'v) Hashtbl.t;
+  mutable timer : int option;
+  mutable engaged : bool;
+}
+
+type ('v, 'w) t = {
+  services : 'w Runtime.Services.t;
+  wrap : 'v msg -> 'w;
+  participants : Topology.pid array; (* sorted *)
+  detector : Fd.Detector.t;
+  timeout : Sim_time.t;
+  on_decide : instance:int -> 'v -> unit;
+  instances : 'v instance Int_tbl.t;
+  mutable highest_decided : int option;
+}
+
+let n t = Array.length t.participants
+let majority t = (n t / 2) + 1
+
+let rank t pid =
+  let r = ref (-1) in
+  Array.iteri (fun i p -> if p = pid then r := i) t.participants;
+  !r
+
+let leader t = Fd.Detector.leader t.detector (Array.to_list t.participants)
+let self t = t.services.Runtime.Services.self
+let is_leader t = leader t = Some (self t)
+
+let get_instance t i =
+  match Int_tbl.find_opt t.instances i with
+  | Some inst -> inst
+  | None ->
+    let inst =
+      {
+        proposal = None;
+        suggested = false;
+        promised = -1;
+        accepted = None;
+        decided = None;
+        leading = -1;
+        phase1_done = false;
+        pushed = false;
+        promises = Hashtbl.create 4;
+        votes = Hashtbl.create 4;
+        ballot_values = Hashtbl.create 4;
+        timer = None;
+        engaged = false;
+      }
+    in
+    Int_tbl.replace t.instances i inst;
+    inst
+
+let send_participants t m =
+  Runtime.Services.send_all t.services
+    (Array.to_list t.participants)
+    (t.wrap m)
+
+let cancel_timer t inst =
+  match inst.timer with
+  | Some h ->
+    t.services.cancel_timer h;
+    inst.timer <- None
+  | None -> ()
+
+let decide t i inst v =
+  if inst.decided = None then begin
+    inst.decided <- Some v;
+    cancel_timer t inst;
+    (* One Decide broadcast per decider, then silence: keeps the protocol
+       halting while guaranteeing uniform agreement under lossy crashes. *)
+    send_participants t (Decide { instance = i; value = v });
+    (match t.highest_decided with
+    | Some h when h >= i -> ()
+    | _ -> t.highest_decided <- Some i);
+    t.on_decide ~instance:i v
+  end
+
+(* Value a coordinator must push after phase 1: the accepted value carried
+   by the highest ballot among the promises, else its own input. *)
+let choose_value inst =
+  let best =
+    Hashtbl.fold
+      (fun _ acc best ->
+        match (acc, best) with
+        | None, b -> b
+        | Some (b, v), Some (b', _) when b > b' -> Some (b, v)
+        | Some _, Some _ -> best
+        | Some (b, v), None -> Some (b, v))
+      inst.promises None
+  in
+  match best with Some (_, v) -> Some v | None -> inst.proposal
+
+let votes_for inst ballot =
+  match Hashtbl.find_opt inst.votes ballot with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 4 in
+    Hashtbl.replace inst.votes ballot tbl;
+    tbl
+
+let maybe_decide_from_votes t i inst ballot =
+  if inst.decided = None && Hashtbl.length (votes_for inst ballot) >= majority t
+  then
+    match Hashtbl.find_opt inst.ballot_values ballot with
+    | Some v -> decide t i inst v
+    | None -> () (* value not learned yet; the Accept will arrive *)
+
+let accept_locally t i inst ~ballot ~value =
+  inst.promised <- max inst.promised ballot;
+  inst.accepted <- Some (ballot, value);
+  Hashtbl.replace inst.ballot_values ballot value;
+  inst.engaged <- true;
+  send_participants t (Accepted { instance = i; ballot })
+
+let start_accept_phase t i inst ~value =
+  inst.pushed <- true;
+  Hashtbl.replace inst.ballot_values inst.leading value;
+  send_participants t (Accept { instance = i; ballot = inst.leading; value })
+
+(* Push the accept phase if phase 1 is complete and a value is available. *)
+let try_push t i inst =
+  if inst.phase1_done && not inst.pushed && inst.decided = None then
+    match choose_value inst with
+    | Some v -> start_accept_phase t i inst ~value:v
+    | None -> ()
+
+(* Take over coordination with a fresh ballot owned by the local process. *)
+let start_new_ballot t i inst =
+  if inst.decided = None then begin
+    let r = rank t (self t) in
+    if r >= 0 then begin
+      let floor = max inst.promised inst.leading in
+      let b =
+        (* smallest ballot > floor with b mod n = r *)
+        let rec find k =
+          let candidate = (k * n t) + r in
+          if candidate > floor then candidate else find (k + 1)
+        in
+        find 0
+      in
+      inst.leading <- b;
+      inst.phase1_done <- false;
+      inst.pushed <- false;
+      Hashtbl.reset inst.promises;
+      if b = 0 then begin
+        (* Ballot 0 fast path: no smaller ballot exists, so phase 1 is
+           vacuous; push straight away if we have an input. *)
+        inst.phase1_done <- true;
+        try_push t i inst
+      end
+      else send_participants t (Prepare { instance = i; ballot = b })
+    end
+  end
+
+let suggest_to_leader t i inst =
+  match leader t with
+  | Some l when l <> self t -> (
+    match inst.proposal with
+    | Some v ->
+      inst.suggested <- true;
+      t.services.send ~dst:l (t.wrap (Suggest { instance = i; value = v }))
+    | None -> ())
+  | _ -> ()
+
+let rec arm_timer t i inst =
+  if inst.timer = None && inst.decided = None then
+    inst.timer <-
+      Some
+        (t.services.set_timer ~after:t.timeout (fun () ->
+             inst.timer <- None;
+             if inst.decided = None then begin
+               if is_leader t then start_new_ballot t i inst
+               else suggest_to_leader t i inst;
+               arm_timer t i inst
+             end))
+
+let propose t ~instance v =
+  let inst = get_instance t instance in
+  if inst.decided = None && inst.proposal = None then begin
+    inst.proposal <- Some v;
+    inst.engaged <- true;
+    arm_timer t instance inst;
+    if is_leader t then
+      if inst.leading < 0 then start_new_ballot t instance inst
+      else try_push t instance inst
+    else suggest_to_leader t instance inst
+  end
+
+let on_suspicion_change t =
+  if is_leader t then
+    Int_tbl.iter
+      (fun i inst ->
+        if inst.engaged && inst.decided = None then
+          if inst.proposal <> None || inst.accepted <> None then
+            start_new_ballot t i inst)
+      t.instances
+  else
+    (* Re-route pending inputs to the new coordinator. *)
+    Int_tbl.iter
+      (fun i inst ->
+        if inst.decided = None && inst.proposal <> None then
+          suggest_to_leader t i inst)
+      t.instances
+
+let handle t ~src m =
+  match m with
+  | Suggest { instance; value } ->
+    let inst = get_instance t instance in
+    if inst.decided = None then begin
+      if inst.proposal = None then inst.proposal <- Some value;
+      inst.engaged <- true;
+      arm_timer t instance inst;
+      if is_leader t then
+        if inst.leading < 0 then start_new_ballot t instance inst
+        else try_push t instance inst
+    end
+  | Prepare { instance; ballot } ->
+    let inst = get_instance t instance in
+    if ballot > inst.promised then begin
+      inst.promised <- ballot;
+      inst.engaged <- true;
+      arm_timer t instance inst;
+      t.services.send ~dst:src
+        (t.wrap (Promise { instance; ballot; accepted = inst.accepted }))
+    end
+  | Promise { instance; ballot; accepted } ->
+    let inst = get_instance t instance in
+    if inst.leading = ballot && not inst.phase1_done then begin
+      Hashtbl.replace inst.promises src accepted;
+      if Hashtbl.length inst.promises >= majority t then begin
+        inst.phase1_done <- true;
+        try_push t instance inst
+      end
+    end
+  | Accept { instance; ballot; value } ->
+    let inst = get_instance t instance in
+    if ballot >= inst.promised then begin
+      accept_locally t instance inst ~ballot ~value;
+      arm_timer t instance inst;
+      maybe_decide_from_votes t instance inst ballot
+    end
+    else if not (Hashtbl.mem inst.ballot_values ballot) then
+      (* Stale, but remember the ballot's value for learner counting. *)
+      Hashtbl.replace inst.ballot_values ballot value
+  | Accepted { instance; ballot } ->
+    let inst = get_instance t instance in
+    Hashtbl.replace (votes_for inst ballot) src ();
+    maybe_decide_from_votes t instance inst ballot
+  | Decide { instance; value } ->
+    let inst = get_instance t instance in
+    decide t instance inst value
+
+let create ~services ~wrap ~participants ~detector
+    ?(timeout = Sim_time.of_ms 200) ~on_decide () =
+  let participants =
+    Array.of_list (List.sort_uniq Int.compare participants)
+  in
+  if Array.length participants = 0 then
+    invalid_arg "Paxos.create: no participants";
+  let t =
+    {
+      services;
+      wrap;
+      participants;
+      detector;
+      timeout;
+      on_decide;
+      instances = Int_tbl.create 64;
+      highest_decided = None;
+    }
+  in
+  detector.subscribe (fun () -> on_suspicion_change t);
+  t
+
+let decided_value t ~instance =
+  match Int_tbl.find_opt t.instances instance with
+  | None -> None
+  | Some inst -> inst.decided
+
+let highest_decided t = t.highest_decided

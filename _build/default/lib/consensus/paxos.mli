@@ -1,0 +1,70 @@
+(** Uniform consensus inside a set of participants.
+
+    The paper assumes that "in each group consensus is solvable" and builds
+    both algorithms on a uniform consensus black box satisfying uniform
+    integrity, termination and uniform agreement (Section 2.2). This module
+    provides that black box: multi-instance single-decree Paxos with a
+    rotating coordinator driven by a {!Fd.Detector.t}.
+
+    Structure per instance (ballot [b] is coordinated by participant
+    [b mod n]):
+
+    - ballot 0 skips the prepare phase (no smaller ballot can exist), so a
+      failure-free instance costs one [Accept] fan-out, an all-to-all
+      [Accepted], and an all-to-all [Decide] — all intra-group when the
+      participants are one group, hence free in latency-degree terms;
+    - every acceptor broadcasts [Accepted] to all participants and every
+      decider broadcasts [Decide] once, so a decision by any process leads
+      every correct participant to decide (uniform agreement) even when a
+      crashing coordinator's messages were partially lost;
+    - a participant that proposed (or adopted acceptor state) arms a
+      decision timeout; on expiry — or on a suspicion change — the smallest
+      non-suspected participant takes over with a higher ballot of its own.
+
+    Instances are independent; decisions may be reported out of order and
+    callers sequence them as they see fit (both A1 and A2 consume decisions
+    strictly in their own instance order).
+
+    The implementation halts: once an instance decides, every timer for it
+    is cancelled and each process sends at most one more [Decide], so runs
+    with finitely many proposals are quiescent — a property Proposition A.9
+    (quiescence of Algorithm A2) relies on. *)
+
+type 'v msg
+(** Wire messages exchanged by the protocol, carrying values of type ['v].
+    Embed in the host protocol's wire type and route back via {!handle}. *)
+
+val tag : 'v msg -> string
+(** Short label of the message kind (["cons.accept"], ...) for traces. *)
+
+val pp_msg : Format.formatter -> 'v msg -> unit
+
+type ('v, 'w) t
+
+val create :
+  services:'w Runtime.Services.t ->
+  wrap:('v msg -> 'w) ->
+  participants:Net.Topology.pid list ->
+  detector:Fd.Detector.t ->
+  ?timeout:Des.Sim_time.t ->
+  on_decide:(instance:int -> 'v -> unit) ->
+  unit ->
+  ('v, 'w) t
+(** One consensus endpoint on the local process. [participants] (which must
+    include the local process and be identical everywhere) fixes the quorum
+    system: a majority of participants. [on_decide] fires exactly once per
+    instance, with the decided value. [timeout] (default 200ms) is the
+    decision timeout that triggers coordinator rotation. *)
+
+val propose : ('v, 'w) t -> instance:int -> 'v -> unit
+(** Submit the local proposal for an instance. At most one proposal per
+    instance per process is used (later ones are ignored); proposing on a
+    decided instance is a no-op. *)
+
+val handle : ('v, 'w) t -> src:Net.Topology.pid -> 'v msg -> unit
+(** Feed an incoming consensus message. *)
+
+val decided_value : ('v, 'w) t -> instance:int -> 'v option
+
+val highest_decided : ('v, 'w) t -> int option
+(** Largest instance number the local process has decided, if any. *)

@@ -1,0 +1,1 @@
+lib/core/a1.ml: Consensus Fd Fmt Hashtbl List Msg Msg_id Net Option Protocol Rmcast Runtime Services Topology

@@ -1,0 +1,1 @@
+lib/core/a1.mli: Format Protocol

@@ -1,0 +1,1 @@
+lib/core/a2.ml: Consensus Des Fd Hashtbl List Msg Msg_id Net Option Protocol Rmcast Runtime Services Topology

@@ -1,0 +1,1 @@
+lib/core/a2.mli: Msg Protocol

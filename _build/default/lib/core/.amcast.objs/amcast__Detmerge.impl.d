@@ -1,0 +1,1 @@
+lib/core/detmerge.ml: Array Des List Msg Msg_id Net Protocol Runtime Services Topology

@@ -1,0 +1,1 @@
+lib/core/fritzke.ml: A1 Protocol

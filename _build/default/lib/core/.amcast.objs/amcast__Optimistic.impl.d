@@ -1,0 +1,1 @@
+lib/core/optimistic.ml: Array Des Hashtbl List Msg Msg_id Net Protocol Runtime Services Topology

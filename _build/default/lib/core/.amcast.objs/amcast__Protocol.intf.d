@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Des Msg Net Rmcast Runtime

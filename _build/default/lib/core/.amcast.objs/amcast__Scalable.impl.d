@@ -1,0 +1,1 @@
+lib/core/scalable.ml: Consensus Fd Hashtbl List Msg Msg_id Net Option Protocol Rmcast Runtime Services Topology

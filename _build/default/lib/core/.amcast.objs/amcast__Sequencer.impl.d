@@ -1,0 +1,1 @@
+lib/core/sequencer.ml: Hashtbl List Msg Msg_id Net Runtime Services Topology

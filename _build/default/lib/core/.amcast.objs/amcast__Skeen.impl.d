@@ -1,0 +1,1 @@
+lib/core/skeen.ml: Hashtbl List Msg Msg_id Net Option Runtime Services Topology

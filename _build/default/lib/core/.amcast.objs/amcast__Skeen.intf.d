@@ -1,0 +1,1 @@
+lib/core/skeen.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/via_broadcast.ml: A2 Msg Net Runtime

@@ -1,0 +1,1 @@
+lib/core/via_broadcast.mli: Protocol

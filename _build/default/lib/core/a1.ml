@@ -1,0 +1,294 @@
+open Net
+open Runtime
+
+module Stage = struct
+  type t = S0 | S1 | S2 | S3
+
+  let to_string = function
+    | S0 -> "s0"
+    | S1 -> "s1"
+    | S2 -> "s2"
+    | S3 -> "s3"
+
+  let pp ppf s = Fmt.string ppf (to_string s)
+end
+
+let name = "a1"
+
+(* A consensus proposal is a snapshot of pending messages in stages s0/s2,
+   with the fields the deciders need to interpret them. *)
+type entry = { msg : Msg.t; ts : int; stage : Stage.t }
+
+type wire =
+  | Rm of Msg.t Rmcast.Reliable_multicast.msg
+  | Ts of { msg : Msg.t; ts : int; from_group : Topology.gid }
+  | Cons of entry list Consensus.Paxos.msg
+  | Hb of Fd.Heartbeat.msg (* only with Config.fd_mode = Heartbeat *)
+
+let tag = function
+  | Rm m -> Rmcast.Reliable_multicast.tag m
+  | Ts _ -> "a1.ts"
+  | Cons c -> Consensus.Paxos.tag c
+  | Hb _ -> "fd.ping"
+
+type pending = {
+  msg : Msg.t;
+  mutable ts : int;
+  mutable stage : Stage.t;
+  proposals : (Topology.gid, int) Hashtbl.t;
+      (* timestamp proposals received in (TS, m) messages, per group *)
+}
+
+type t = {
+  services : wire Services.t;
+  config : Protocol.Config.t;
+  deliver : Msg.t -> unit;
+  my_group : Topology.gid;
+  mutable k : int; (* K: group-clock copy = next consensus instance *)
+  mutable prop_k : int; (* no two proposals for the same instance *)
+  pending : pending Msg_id.Tbl.t;
+  adelivered : unit Msg_id.Tbl.t;
+  decisions : (int, entry list) Hashtbl.t; (* decided, not yet processed *)
+  mutable rm : (Msg.t, wire) Rmcast.Reliable_multicast.t option;
+  mutable cons : (entry list, wire) Consensus.Paxos.t option;
+  mutable hb : wire Fd.Heartbeat.t option;
+  mutable cons_executed : int;
+}
+
+let rm t = Option.get t.rm
+let cons t = Option.get t.cons
+
+let other_dest_groups t (m : Msg.t) =
+  List.filter (fun g -> g <> t.my_group) m.dest
+
+let get_or_create_pending t (m : Msg.t) =
+  match Msg_id.Tbl.find_opt t.pending m.id with
+  | Some p -> p
+  | None ->
+    let p =
+      { msg = m; ts = t.k; stage = Stage.S0; proposals = Hashtbl.create 4 }
+    in
+    Msg_id.Tbl.replace t.pending m.id p;
+    p
+
+(* Line 4-7: deliver every s3 message whose (ts, id) is minimal among all
+   pending messages (any stage). *)
+let adelivery_test t =
+  let rec loop () =
+    let minimal =
+      Msg_id.Tbl.fold
+        (fun _ p best ->
+          match best with
+          | None -> Some p
+          | Some q ->
+            if Msg.compare_ts_id (p.ts, p.msg) (q.ts, q.msg) < 0 then Some p
+            else best)
+        t.pending None
+    in
+    match minimal with
+    | Some p when p.stage = Stage.S3 ->
+      Msg_id.Tbl.remove t.pending p.msg.id;
+      Msg_id.Tbl.replace t.adelivered p.msg.id ();
+      t.deliver p.msg;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+(* Line 14-17: propose all pending s0/s2 messages to instance K. *)
+let try_propose t =
+  if t.prop_k <= t.k then begin
+    let msg_set =
+      Msg_id.Tbl.fold
+        (fun _ p acc ->
+          match p.stage with
+          | Stage.S0 | Stage.S2 ->
+            { msg = p.msg; ts = p.ts; stage = p.stage } :: acc
+          | Stage.S1 | Stage.S3 -> acc)
+        t.pending []
+    in
+    if msg_set <> [] then begin
+      let msg_set =
+        List.sort
+          (fun (a : entry) (b : entry) -> Msg.compare_id a.msg b.msg)
+          msg_set
+      in
+      Consensus.Paxos.propose (cons t) ~instance:t.k msg_set;
+      t.prop_k <- t.k + 1
+    end
+  end
+
+(* Line 33-40: once (TS, m) proposals from every other destination group
+   are in, either skip to s3 (our proposal is the maximum) or adopt the
+   maximum and run a second consensus (stage s2). *)
+let check_s1 t id =
+  match Msg_id.Tbl.find_opt t.pending id with
+  | Some p when p.stage = Stage.S1 ->
+    let others = other_dest_groups t p.msg in
+    if List.for_all (fun g -> Hashtbl.mem p.proposals g) others then begin
+      let max_other =
+        List.fold_left
+          (fun acc g -> max acc (Hashtbl.find p.proposals g))
+          min_int others
+      in
+      if t.config.skip_max_group && p.ts >= max_other then begin
+        p.stage <- Stage.S3; (* second consensus not needed *)
+        adelivery_test t
+      end
+      else begin
+        p.ts <- max p.ts max_other;
+        p.stage <- Stage.S2;
+        try_propose t
+      end
+    end
+  | Some _ | None -> ()
+
+(* Line 18-32: interpret the decision of instance K. *)
+let rec process_decisions t =
+  match Hashtbl.find_opt t.decisions t.k with
+  | None -> ()
+  | Some entries ->
+    Hashtbl.remove t.decisions t.k;
+    let k = t.k in
+    t.cons_executed <- t.cons_executed + 1;
+    let max_ts = ref 0 in
+    let moved_to_s1 = ref [] in
+    List.iter
+      (fun (e : entry) ->
+        if Msg_id.Tbl.mem t.adelivered e.msg.id then
+          max_ts := max !max_ts e.ts
+        else begin
+          let p = get_or_create_pending t e.msg in
+          let multi = not (Msg.is_single_group e.msg) in
+          if multi || not t.config.skip_single_group then begin
+            match e.stage with
+            | Stage.S0 ->
+              (* Group proposal for m's timestamp is the instance number. *)
+              p.ts <- k;
+              p.stage <- Stage.S1;
+              max_ts := max !max_ts k;
+              let dest_outside =
+                Topology.pids_of_groups t.services.Services.topology
+                  (other_dest_groups t e.msg)
+              in
+              Services.send_all t.services dest_outside
+                (Ts { msg = e.msg; ts = k; from_group = t.my_group });
+              moved_to_s1 := e.msg.id :: !moved_to_s1
+            | Stage.S2 ->
+              (* Clock pushed past the final timestamp: m is ready. *)
+              p.ts <- e.ts;
+              p.stage <- Stage.S3;
+              max_ts := max !max_ts e.ts
+            | Stage.S1 | Stage.S3 -> assert false
+          end
+          else begin
+            (* Single-group message: its group is the only proposer, the
+               instance number is final — straight to s3 (line 28-29). *)
+            p.ts <- k;
+            p.stage <- Stage.S3;
+            max_ts := max !max_ts k
+          end
+        end)
+      entries;
+    (* Line 31: K <- max(max ts decided, K) + 1. *)
+    t.k <- max !max_ts t.k + 1;
+    (* Proposals buffered while we were deciding may complete stage s1. *)
+    List.iter (fun id -> check_s1 t id) !moved_to_s1;
+    adelivery_test t;
+    try_propose t;
+    process_decisions t
+
+(* Line 10-13: first sight of a message (R-Delivered or piggybacked on a
+   TS message) puts it in stage s0 with the current clock as timestamp. *)
+let note_message t (m : Msg.t) =
+  if
+    (not (Msg_id.Tbl.mem t.pending m.id))
+    && not (Msg_id.Tbl.mem t.adelivered m.id)
+  then begin
+    ignore (get_or_create_pending t m);
+    try_propose t
+  end
+
+let cast t (m : Msg.t) =
+  Rmcast.Reliable_multicast.rmcast (rm t) ~id:m.id
+    ~dest:(Msg.dest_pids t.services.Services.topology m)
+    m
+
+let on_receive t ~src w =
+  match w with
+  | Rm rmsg -> Rmcast.Reliable_multicast.handle (rm t) ~src rmsg
+  | Ts { msg; ts; from_group } ->
+    if not (Msg_id.Tbl.mem t.adelivered msg.id) then begin
+      note_message t msg;
+      (match Msg_id.Tbl.find_opt t.pending msg.id with
+      | Some p ->
+        if not (Hashtbl.mem p.proposals from_group) then
+          Hashtbl.replace p.proposals from_group ts
+      | None -> ());
+      check_s1 t msg.id
+    end
+  | Cons cmsg -> Consensus.Paxos.handle (cons t) ~src cmsg
+  | Hb m -> (
+    match t.hb with
+    | Some hb -> Fd.Heartbeat.handle hb ~src m
+    | None -> ())
+
+let create ~services ~config ~deliver =
+  let t =
+    {
+      services;
+      config;
+      deliver;
+      my_group = Services.my_group services;
+      k = 1;
+      prop_k = 1;
+      pending = Msg_id.Tbl.create 64;
+      adelivered = Msg_id.Tbl.create 64;
+      decisions = Hashtbl.create 16;
+      rm = None;
+      cons = None;
+      hb = None;
+      cons_executed = 0;
+    }
+  in
+  let detector =
+    match config.Protocol.Config.fd_mode with
+    | Protocol.Config.Oracle ->
+      Fd.Detector.oracle ~delay:config.Protocol.Config.oracle_delay services
+    | Protocol.Config.Heartbeat { period; timeout } ->
+      let hb =
+        Fd.Heartbeat.create ~services
+          ~wrap:(fun m -> Hb m)
+          ~monitored:
+            (Topology.members services.Services.topology t.my_group)
+          ~period ~timeout
+      in
+      t.hb <- Some hb;
+      Fd.Heartbeat.detector hb
+  in
+  t.rm <-
+    Some
+      (Rmcast.Reliable_multicast.create ~services
+         ~wrap:(fun m -> Rm m)
+         ~mode:config.Protocol.Config.rm_mode
+         ~oracle_delay:config.Protocol.Config.oracle_delay
+         ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m -> note_message t m)
+         ());
+  t.cons <-
+    Some
+      (Consensus.Paxos.create ~services
+         ~wrap:(fun m -> Cons m)
+         ~participants:
+           (Topology.members services.Services.topology
+              (Services.my_group services))
+         ~detector
+         ~timeout:config.Protocol.Config.consensus_timeout
+         ~on_decide:(fun ~instance v ->
+           Hashtbl.replace t.decisions instance v;
+           process_decisions t)
+         ());
+  t
+
+let pending_count t = Msg_id.Tbl.length t.pending
+let clock t = t.k
+let consensus_instances_executed t = t.cons_executed

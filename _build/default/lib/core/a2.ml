@@ -1,0 +1,261 @@
+open Net
+open Runtime
+
+let name = "a2"
+
+type wire =
+  | Rm of Msg.t Rmcast.Reliable_multicast.msg
+  | Bundle of { round : int; msgs : Msg.t list }
+  | Cons of Msg.t list Consensus.Paxos.msg
+  | Hb of Fd.Heartbeat.msg (* only with Config.fd_mode = Heartbeat *)
+
+let tag = function
+  | Rm m -> Rmcast.Reliable_multicast.tag m
+  | Bundle _ -> "a2.bundle"
+  | Cons c -> Consensus.Paxos.tag c
+  | Hb _ -> "fd.ping"
+
+type round_state = {
+  mutable own : Msg.t list option; (* our group's decided bundle *)
+  mutable own_sent : bool;
+  foreign : (Topology.gid, Msg.t list) Hashtbl.t; (* first copy wins *)
+}
+
+type t = {
+  services : wire Services.t;
+  deliver : Msg.t -> unit;
+  round_grace : Des.Sim_time.t;
+  prediction : Protocol.Config.prediction;
+  mutable empty_streak : int; (* consecutive useless rounds *)
+  mutable grace_timer : int option;
+  my_group : Topology.gid;
+  other_groups : Topology.gid list;
+  outside_pids : Topology.pid list;
+  mutable k : int; (* current round *)
+  mutable prop_k : int;
+  mutable barrier : int;
+  rdelivered : Msg.t Msg_id.Tbl.t;
+  adelivered : unit Msg_id.Tbl.t;
+  rounds : (int, round_state) Hashtbl.t;
+  mutable rm : (Msg.t, wire) Rmcast.Reliable_multicast.t option;
+  mutable cons : (Msg.t list, wire) Consensus.Paxos.t option;
+  mutable hb : wire Fd.Heartbeat.t option;
+  mutable rounds_executed : int;
+}
+
+let rm t = Option.get t.rm
+let cons t = Option.get t.cons
+
+let round_state t r =
+  match Hashtbl.find_opt t.rounds r with
+  | Some s -> s
+  | None ->
+    let s = { own = None; own_sent = false; foreign = Hashtbl.create 4 } in
+    Hashtbl.replace t.rounds r s;
+    s
+
+let undelivered t =
+  Msg_id.Tbl.fold
+    (fun id m acc -> if Msg_id.Tbl.mem t.adelivered id then acc else m :: acc)
+    t.rdelivered []
+  |> List.sort Msg.compare_id
+
+(* Line 11-13: start round K when there is something to order or the
+   barrier says the round must run anyway. A barrier-mandated round with an
+   *empty* proposal waits [round_grace] before proposing, so a broadcast
+   landing just after the round opened still joins its bundle — that slack
+   is what realises Theorem 5.1's latency-degree-1 schedule, and the
+   pseudocode's "When" guards allow any such scheduling. *)
+let propose_now t =
+  (match t.grace_timer with
+  | Some h ->
+    t.services.Services.cancel_timer h;
+    t.grace_timer <- None
+  | None -> ());
+  Consensus.Paxos.propose (cons t) ~instance:t.k (undelivered t);
+  t.prop_k <- t.k + 1
+
+let try_propose t =
+  if t.prop_k <= t.k then
+    if
+      undelivered t <> []
+      (* Catching up — another group's bundle for this round has already
+         arrived (cf. Theorem 5.2's run, where g2 decides instance r as
+         soon as it receives g1's bundle): nothing to gain by waiting. *)
+      || Hashtbl.length (round_state t t.k).foreign > 0
+    then propose_now t
+    else if t.k <= t.barrier && t.grace_timer = None then
+      t.grace_timer <-
+        Some
+          (t.services.Services.set_timer ~after:t.round_grace (fun () ->
+               t.grace_timer <- None;
+               (* Re-check the full guard: the round may have completed
+                  without our proposal while we were waiting. *)
+               if
+                 t.prop_k <= t.k
+                 && (undelivered t <> [] || t.k <= t.barrier)
+               then propose_now t))
+
+(* Line 14-23: close round K once our bundle is decided and a bundle from
+   every other group has arrived. *)
+let rec maybe_finish_round t =
+  let s = round_state t t.k in
+  match s.own with
+  | None -> ()
+  | Some own_bundle ->
+    if not s.own_sent then begin
+      s.own_sent <- true;
+      Services.send_all t.services t.outside_pids
+        (Bundle { round = t.k; msgs = own_bundle })
+    end;
+    let complete =
+      List.for_all (fun g -> Hashtbl.mem s.foreign g) t.other_groups
+    in
+    if complete then begin
+      let bundles =
+        own_bundle
+        :: List.map (fun g -> Hashtbl.find s.foreign g) t.other_groups
+      in
+      let to_deliver =
+        List.concat bundles
+        |> List.filter (fun (m : Msg.t) ->
+               not (Msg_id.Tbl.mem t.adelivered m.id))
+        |> List.sort_uniq Msg.compare_id
+      in
+      (* Deterministic order: sorted by message id. *)
+      List.iter
+        (fun (m : Msg.t) ->
+          Msg_id.Tbl.replace t.adelivered m.id ();
+          t.deliver m)
+        to_deliver;
+      Hashtbl.remove t.rounds t.k;
+      t.k <- t.k + 1;
+      t.rounds_executed <- t.rounds_executed + 1;
+      (* Line 22-23: a useful round schedules one more (proactive) round;
+         a useless one leaves the barrier alone — the paper's quiescence
+         rule. The Linger strategy (Section 5.3's suggested refinement)
+         tolerates a bounded streak of useless rounds before stopping. *)
+      if to_deliver <> [] then begin
+        t.empty_streak <- 0;
+        t.barrier <- max t.barrier t.k
+      end
+      else begin
+        t.empty_streak <- t.empty_streak + 1;
+        match t.prediction with
+        | Protocol.Config.Linger { rounds } when t.empty_streak < rounds ->
+          t.barrier <- max t.barrier t.k
+        | Protocol.Config.Linger _ | Protocol.Config.Stop_when_idle -> ()
+      end;
+      try_propose t;
+      maybe_finish_round t
+    end
+
+let on_rdeliver t (m : Msg.t) =
+  if not (Msg_id.Tbl.mem t.rdelivered m.id) then begin
+    Msg_id.Tbl.replace t.rdelivered m.id m;
+    try_propose t
+  end
+
+let cast_payload_only t (m : Msg.t) =
+  (* Line 4-5: R-MCast to the caster's own group only. *)
+  Rmcast.Reliable_multicast.rmcast (rm t) ~id:m.id
+    ~dest:(Topology.members t.services.Services.topology t.my_group)
+    m
+
+let cast t (m : Msg.t) =
+  if
+    List.length m.dest
+    <> Topology.n_groups t.services.Services.topology
+  then
+    invalid_arg
+      "A2.cast: atomic broadcast requires dest = all groups (use A1 or \
+       Via_broadcast for multicast)";
+  cast_payload_only t m
+
+let on_receive t ~src w =
+  match w with
+  | Rm rmsg -> Rmcast.Reliable_multicast.handle (rm t) ~src rmsg
+  | Bundle { round; msgs } ->
+    (* Line 8-10: store the bundle and raise the barrier. *)
+    let g = Topology.group_of t.services.Services.topology src in
+    if round >= t.k then begin
+      let s = round_state t round in
+      if not (Hashtbl.mem s.foreign g) then Hashtbl.replace s.foreign g msgs
+    end;
+    t.barrier <- max t.barrier round;
+    try_propose t;
+    maybe_finish_round t
+  | Cons cmsg -> Consensus.Paxos.handle (cons t) ~src cmsg
+  | Hb m -> (
+    match t.hb with
+    | Some hb -> Fd.Heartbeat.handle hb ~src m
+    | None -> ())
+
+let create ~services ~config ~deliver =
+  let topology = services.Services.topology in
+  let my_group = Services.my_group services in
+  let other_groups =
+    List.filter (fun g -> g <> my_group) (Topology.all_groups topology)
+  in
+  let t =
+    {
+      services;
+      deliver;
+      round_grace = config.Protocol.Config.round_grace;
+      prediction = config.Protocol.Config.prediction;
+      empty_streak = 0;
+      grace_timer = None;
+      my_group;
+      other_groups;
+      outside_pids = Topology.pids_of_groups topology other_groups;
+      k = 1;
+      prop_k = 1;
+      barrier = 0;
+      rdelivered = Msg_id.Tbl.create 64;
+      adelivered = Msg_id.Tbl.create 64;
+      rounds = Hashtbl.create 16;
+      rm = None;
+      cons = None;
+      hb = None;
+      rounds_executed = 0;
+    }
+  in
+  let detector =
+    match config.Protocol.Config.fd_mode with
+    | Protocol.Config.Oracle ->
+      Fd.Detector.oracle ~delay:config.Protocol.Config.oracle_delay services
+    | Protocol.Config.Heartbeat { period; timeout } ->
+      let hb =
+        Fd.Heartbeat.create ~services
+          ~wrap:(fun m -> Hb m)
+          ~monitored:(Topology.members topology my_group)
+          ~period ~timeout
+      in
+      t.hb <- Some hb;
+      Fd.Heartbeat.detector hb
+  in
+  t.rm <-
+    Some
+      (Rmcast.Reliable_multicast.create ~services
+         ~wrap:(fun m -> Rm m)
+         ~mode:config.Protocol.Config.rm_mode
+         ~oracle_delay:config.Protocol.Config.oracle_delay
+         ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m -> on_rdeliver t m)
+         ());
+  t.cons <-
+    Some
+      (Consensus.Paxos.create ~services
+         ~wrap:(fun m -> Cons m)
+         ~participants:(Topology.members topology my_group)
+         ~detector
+         ~timeout:config.Protocol.Config.consensus_timeout
+         ~on_decide:(fun ~instance v ->
+           let s = round_state t instance in
+           if s.own = None then s.own <- Some v;
+           maybe_finish_round t)
+         ());
+  t
+
+let round t = t.k
+let barrier t = t.barrier
+let rounds_executed t = t.rounds_executed

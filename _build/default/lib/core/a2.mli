@@ -1,0 +1,44 @@
+(** Algorithm A2 — atomic broadcast with latency degree 1 (Section 5).
+
+    The first fault-tolerant atomic broadcast that can deliver in a single
+    inter-group message delay. Processes execute a sequence of rounds; in
+    round [K]:
+
+    - inside each group, one consensus instance fixes the group's
+      {e message bundle} — the broadcast messages R-Delivered locally and
+      not yet A-Delivered (possibly the empty set);
+    - every process sends its group's bundle to all processes outside its
+      group and waits for one round-[K] bundle from every other group;
+    - the union of the bundles is A-Delivered in a deterministic order
+      (sorted by message id).
+
+    Because groups run their consensus and exchange bundles {e proactively}
+    — before knowing whether anything was broadcast — a message that lands
+    in an already-running round crosses group boundaries exactly once:
+    latency degree 1 (Theorem 5.1).
+
+    Quiescence (Proposition A.9): a round that delivers nothing does not
+    raise the barrier, so after the last message is delivered processes stop
+    executing rounds and, the underlying consensus being halting, stop
+    sending messages altogether. The algorithm is indulgent about the
+    prediction being wrong: a broadcast arriving after quiescence restarts
+    rounds — the caster's group decides a new round and its bundle raises
+    every other group's barrier — at the price of one extra inter-group
+    delay (latency degree 2, Theorem 5.2; unavoidable by Proposition
+    3.1/3.3). *)
+
+include Protocol.S
+
+val round : t -> int
+(** Current round number [K] (debug/metrics). *)
+
+val barrier : t -> int
+(** Last round this process currently intends to execute. *)
+
+val rounds_executed : t -> int
+(** Completed rounds on this process. *)
+
+val cast_payload_only : t -> Msg.t -> unit
+(** Like {!cast} but without asserting that [msg.dest] covers all groups —
+    used by the non-genuine multicast wrapper, which broadcasts messages
+    addressed to a subset of groups and filters at delivery. *)

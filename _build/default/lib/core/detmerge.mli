@@ -1,0 +1,24 @@
+(** Deterministic-merge total order, after Aguilera & Strom ([1] in the
+    paper).
+
+    Every process is a publisher with its own timestamp stream; a cast is
+    sent directly to its addressees stamped with the publisher's next
+    timestamp, and every publisher keeps all streams moving by emitting
+    periodic {e null} messages to everyone. A subscriber delivers buffered
+    messages up to the watermark — the minimum timestamp every publisher's
+    stream has provably passed — merging them in the deterministic
+    [(timestamp, publisher)] order.
+
+    Latency degree 1 with O(kd) messages per multicast (Figure 1a) and
+    O(n) per broadcast (Figure 1b) — better than every other algorithm in
+    the comparison. The catch is the assumptions, which the paper's
+    footnotes spell out: publishers never crash and cast infinitely many
+    messages (here: the nulls). The protocol is {e not} genuine — nulls
+    flow to every process regardless of destinations — and {e never}
+    quiescent, so it does not contradict either lower bound of Section 3.
+    Runs must use a time horizon. *)
+
+include Protocol.S
+
+val watermark : t -> int
+(** The local merge watermark (diagnostics). *)

@@ -1,0 +1,60 @@
+module Config = struct
+  type fd_mode =
+    | Oracle
+    | Heartbeat of { period : Des.Sim_time.t; timeout : Des.Sim_time.t }
+
+  type prediction =
+    | Stop_when_idle
+    | Linger of { rounds : int }
+
+  type t = {
+    consensus_timeout : Des.Sim_time.t;
+    oracle_delay : Des.Sim_time.t;
+    skip_single_group : bool;
+    skip_max_group : bool;
+    rm_mode : Rmcast.Reliable_multicast.mode;
+    fd_mode : fd_mode;
+    prediction : prediction;
+    round_grace : Des.Sim_time.t;
+    null_period : Des.Sim_time.t;
+    opt_window : Des.Sim_time.t;
+  }
+
+  let default =
+    {
+      consensus_timeout = Des.Sim_time.of_ms 200;
+      oracle_delay = Des.Sim_time.of_ms 50;
+      skip_single_group = true;
+      skip_max_group = true;
+      rm_mode = Rmcast.Reliable_multicast.Eager_nonuniform;
+      fd_mode = Oracle;
+      prediction = Stop_when_idle;
+      round_grace = Des.Sim_time.of_ms 10;
+      null_period = Des.Sim_time.of_ms 10;
+      opt_window = Des.Sim_time.of_ms 5;
+    }
+
+  let fritzke =
+    {
+      default with
+      skip_single_group = false;
+      skip_max_group = false;
+    }
+end
+
+module type S = sig
+  type t
+  type wire
+
+  val name : string
+  val tag : wire -> string
+
+  val create :
+    services:wire Runtime.Services.t ->
+    config:Config.t ->
+    deliver:(Msg.t -> unit) ->
+    t
+
+  val cast : t -> Msg.t -> unit
+  val on_receive : t -> src:Net.Topology.pid -> wire -> unit
+end

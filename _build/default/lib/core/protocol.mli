@@ -1,0 +1,119 @@
+(** The common shape of every total-order protocol in this library.
+
+    A protocol instance lives on one process. It is created with the
+    process's {!Runtime.Services.t}, reacts to wire messages via
+    [on_receive], initiates messages via [cast] and reports agreed
+    deliveries through the [deliver] upcall. The harness
+    ({!module:Harness.Runner} in the sibling library) instantiates one
+    engine per protocol deployment and wraps [cast]/[deliver] with the
+    Lamport-clock trace events, so latency degrees are measured uniformly
+    and outside protocol code. *)
+
+(** Tuning knobs shared by the protocols; every field has a sensible
+    default ({!Config.default}). *)
+module Config : sig
+  (** Which failure detector drives consensus and the reliable-multicast
+      relay rule. *)
+  type fd_mode =
+    | Oracle
+        (** The idealised detector built on the engine's ground truth —
+            no messages, no false suspicions; the cost model Figure 1
+            assumes. *)
+    | Heartbeat of { period : Des.Sim_time.t; timeout : Des.Sim_time.t }
+        (** The real thing: periodic heartbeats inside each group, ◇P by
+            adaptive timeouts. Note that a heartbeat detector never stops
+            probing, so deployments using it are never quiescent — run
+            them under a horizon. *)
+
+  (** A2's quiescence-prediction strategy: when does a process decide that
+      no more messages will be broadcast and stop executing rounds?
+      Section 5.3 notes the paper's rule is deliberately simple and that
+      "more elaborate prediction strategies based on application behavior
+      could be used" — this is that extension point. *)
+  type prediction =
+    | Stop_when_idle
+        (** The paper's rule: a round that delivers nothing does not raise
+            the barrier, so rounds stop after the first useless one. *)
+    | Linger of { rounds : int }
+        (** Keep running up to [rounds] consecutive {e empty} rounds after
+            the last useful one before going quiescent. Buys the degree-1
+            delivery window for broadcast gaps up to roughly
+            [rounds × round duration], at the cost of that many wasted
+            rounds per lull; still quiescent, still indulgent. *)
+
+  type t = {
+    consensus_timeout : Des.Sim_time.t;
+        (** Decision timeout before coordinator rotation. *)
+    oracle_delay : Des.Sim_time.t;
+        (** Detection delay of the idealised failure detector. *)
+    skip_single_group : bool;
+        (** A1: single-group messages jump from stage s0 to s3 (paper's
+            first optimisation over Fritzke et al.). *)
+    skip_max_group : bool;
+        (** A1: the group whose proposal equals the final timestamp skips
+            stage s2 (paper's second optimisation). *)
+    rm_mode : Rmcast.Reliable_multicast.mode;
+        (** Reliable-multicast flavour for the initial dissemination. *)
+    fd_mode : fd_mode;
+        (** Failure detector driving A1's and A2's group consensus. *)
+    prediction : prediction;
+        (** A2's quiescence prediction (ignored by other protocols). *)
+    round_grace : Des.Sim_time.t;
+        (** A2: how long a process whose proposal for a barrier-mandated
+            round would be {e empty} waits before proposing, so that a
+            broadcast landing in an already-running round can still join
+            its bundle (the schedule behind Theorem 5.1's degree-1 run).
+            A message arriving within the window cancels the wait and
+            proposes immediately; the pseudocode's "When" guard permits
+            any such scheduling. *)
+    null_period : Des.Sim_time.t;
+        (** Deterministic-merge baseline ([1]): period of the null messages
+            every publisher emits to keep subscriber streams advancing. *)
+    opt_window : Des.Sim_time.t;
+        (** Optimistic total order ([12]): compensation window receivers
+            wait before optimistically delivering, to absorb latency
+            differences between links. *)
+  }
+
+  val default : t
+  (** A1 as published: both skips on, non-uniform reliable multicast,
+      200ms consensus timeout, 50ms oracle delay. *)
+
+  val fritzke : t
+  (** The Fritzke et al. [5] baseline: no stage skipping. The initial
+      dissemination keeps the eager (oracle-relayed) reliable multicast:
+      Figure 1 analyses [5] with the oracle-based uniform primitive of
+      Frolund & Pedone [6], whose latency degree is 1 and whose
+      failure-free message pattern is exactly the eager one. (The
+      {!Rmcast.Reliable_multicast.Ack_uniform} mode remains available as a
+      no-oracle uniform multicast, at one extra message delay.) *)
+end
+
+module type S = sig
+  type t
+
+  type wire
+  (** The protocol's wire message type (one engine payload type per
+      deployment). *)
+
+  val name : string
+
+  val tag : wire -> string
+  (** Trace label of a wire message's kind. *)
+
+  val create :
+    services:wire Runtime.Services.t ->
+    config:Config.t ->
+    deliver:(Msg.t -> unit) ->
+    t
+  (** One instance per process. [deliver] is called exactly once per
+      A-Delivered message, in the local delivery order. *)
+
+  val cast : t -> Msg.t -> unit
+  (** A-XCast a message (A-MCast or A-BCast depending on [msg.dest]).
+      Must be called on a process allowed by the protocol (any process for
+      the multicast protocols; any process for broadcast protocols, with
+      [dest] covering all groups). *)
+
+  val on_receive : t -> src:Net.Topology.pid -> wire -> unit
+end

@@ -1,0 +1,142 @@
+open Net
+open Runtime
+
+let name = "sequencer"
+
+type wire =
+  | Data of Msg.t
+  | Assign of { id : Msg_id.t; sn : int }
+  | Validate of { id : Msg_id.t; sn : int } (* uniformity acknowledgment *)
+
+let tag = function
+  | Data _ -> "seq.data"
+  | Assign _ -> "seq.assign"
+  | Validate _ -> "seq.validate"
+
+type slot = {
+  mutable msg : Msg.t option;
+  mutable sn : int option;
+  acks : (Topology.pid, unit) Hashtbl.t;
+  mutable opt_delivered : bool;
+  mutable validated : bool;
+}
+
+type t = {
+  services : wire Services.t;
+  deliver : Msg.t -> unit;
+  sequencer : Topology.pid;
+  mutable next_sn : int; (* sequencer-side counter *)
+  mutable next_final : int; (* next sequence number to deliver finally *)
+  slots : slot Msg_id.Tbl.t;
+  by_sn : (int, Msg_id.t) Hashtbl.t;
+  mutable opt_log : (Msg_id.t * int) list; (* newest first *)
+}
+
+let slot_of t id =
+  match Msg_id.Tbl.find_opt t.slots id with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        msg = None;
+        sn = None;
+        acks = Hashtbl.create 8;
+        opt_delivered = false;
+        validated = false;
+      }
+    in
+    Msg_id.Tbl.replace t.slots id s;
+    s
+
+let majority t =
+  (Topology.n_processes t.services.Services.topology / 2) + 1
+
+let try_opt_deliver t id s =
+  match (s.msg, s.sn) with
+  | Some _, Some sn when not s.opt_delivered ->
+    s.opt_delivered <- true;
+    t.opt_log <- (id, sn) :: t.opt_log;
+    (* Acknowledge the assignment to everyone: the uniformity votes. *)
+    Services.send_all t.services
+      (Topology.all_pids t.services.Services.topology)
+      (Validate { id; sn })
+  | _ -> ()
+
+(* Final delivery: contiguous sequence numbers, each validated by a
+   majority and with its payload at hand. *)
+let rec try_final_deliver t =
+  match Hashtbl.find_opt t.by_sn t.next_final with
+  | None -> ()
+  | Some id ->
+    let s = slot_of t id in
+    (match (s.msg, s.validated) with
+    | Some m, true ->
+      t.next_final <- t.next_final + 1;
+      t.deliver m;
+      try_final_deliver t
+    | _ -> ())
+
+let on_ack t id ~sn ~src =
+  let s = slot_of t id in
+  if s.sn = None then s.sn <- Some sn;
+  if not (Hashtbl.mem t.by_sn sn) then Hashtbl.replace t.by_sn sn id;
+  Hashtbl.replace s.acks src ();
+  if (not s.validated) && Hashtbl.length s.acks >= majority t then begin
+    s.validated <- true;
+    try_final_deliver t
+  end
+
+let on_data t (m : Msg.t) =
+  let s = slot_of t m.id in
+  if s.msg = None then begin
+    s.msg <- Some m;
+    (* The sequencer assigns the next number and tells everyone. *)
+    if t.services.Services.self = t.sequencer && s.sn = None then begin
+      let sn = t.next_sn in
+      t.next_sn <- sn + 1;
+      s.sn <- Some sn;
+      Hashtbl.replace t.by_sn sn m.id;
+      Services.send_all t.services
+        (List.filter
+           (fun q -> q <> t.sequencer)
+           (Topology.all_pids t.services.Services.topology))
+        (Assign { id = m.id; sn })
+    end;
+    try_opt_deliver t m.id s;
+    try_final_deliver t
+  end
+
+let cast t (m : Msg.t) =
+  Services.send_all t.services
+    (List.filter
+       (fun q -> q <> t.services.Services.self)
+       (Topology.all_pids t.services.Services.topology))
+    (Data m);
+  on_data t m
+
+let on_receive t ~src w =
+  match w with
+  | Data m -> on_data t m
+  | Assign { id; sn } ->
+    let s = slot_of t id in
+    if s.sn = None then begin
+      s.sn <- Some sn;
+      Hashtbl.replace t.by_sn sn id
+    end;
+    try_opt_deliver t id s;
+    try_final_deliver t
+  | Validate { id; sn } -> on_ack t id ~sn ~src
+
+let create ~services ~config:_ ~deliver =
+  {
+    services;
+    deliver;
+    sequencer = List.hd (Topology.members services.Services.topology 0);
+    next_sn = 0;
+    next_final = 0;
+    slots = Msg_id.Tbl.create 32;
+    by_sn = Hashtbl.create 32;
+    opt_log = [];
+  }
+
+let optimistic_deliveries t = List.rev t.opt_log

@@ -1,0 +1,25 @@
+(** Sequencer-based uniform atomic broadcast, after Vicente & Rodrigues
+    ([13] in the paper).
+
+    A fixed sequencer (the first process of group 0) assigns consecutive
+    sequence numbers to broadcast messages. Receivers {e optimistically}
+    deliver a message as soon as they hold both the message and its
+    sequence number; the {e final} (uniform) delivery additionally waits
+    until a majority of all processes has acknowledged the assignment and
+    all smaller sequence numbers are finally delivered.
+
+    Costs (Figure 1b, best case — the caster in the sequencer's group):
+    the message reaches everyone in one inter-group delay, the sequence
+    number travels concurrently, and the all-to-all validation adds one
+    more — optimistic latency degree 1, final latency degree 2, O(n²)
+    messages. A2 achieves final delivery at degree 1 with the same message
+    complexity.
+
+    Failure handling (sequencer crash, indulgence) is out of scope for
+    this baseline: like Figure 1, it is measured in failure-free runs. *)
+
+include Protocol.S
+
+val optimistic_deliveries : t -> (Runtime.Msg_id.t * int) list
+(** The optimistic delivery sequence (message, sequence number) observed
+    locally, oldest first — compared against final deliveries in tests. *)

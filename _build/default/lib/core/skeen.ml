@@ -1,0 +1,144 @@
+open Net
+open Runtime
+
+let name = "skeen"
+
+type wire =
+  | Data of Msg.t
+  | Stamp of { id : Msg_id.t; ts : int }
+
+let tag = function Data _ -> "skeen.data" | Stamp _ -> "skeen.stamp"
+
+type pending = {
+  msg : Msg.t;
+  own_ts : int;
+  stamps : (Topology.pid, int) Hashtbl.t;
+  mutable final : int option;
+}
+
+type t = {
+  services : wire Services.t;
+  deliver : Msg.t -> unit;
+  mutable clock : int;
+  pending : pending Msg_id.Tbl.t;
+  delivered : unit Msg_id.Tbl.t;
+  early_stamps : (Topology.pid * int) list Msg_id.Tbl.t;
+      (* stamps that outran their Data message (triangle inequality does
+         not hold under jitter or asymmetric latency matrices) *)
+}
+
+(* Deliver every finalised message whose (final, id) is minimal: no other
+   finalised message precedes it, and no unfinalised message could still
+   get a smaller final stamp (its final is at least its own stamp here). *)
+let delivery_test t =
+  let rec loop () =
+    let best =
+      Msg_id.Tbl.fold
+        (fun _ p best ->
+          match p.final with
+          | None -> best
+          | Some f -> (
+            match best with
+            | Some (f', p') when Msg.compare_ts_id (f', p'.msg) (f, p.msg) < 0
+              ->
+              best
+            | _ -> Some (f, p)))
+        t.pending None
+    in
+    match best with
+    | None -> ()
+    | Some (f, p) ->
+      let blocked =
+        Msg_id.Tbl.fold
+          (fun _ q acc ->
+            acc
+            || q.final = None
+               && Msg.compare_ts_id (q.own_ts, q.msg) (f, p.msg) < 0)
+          t.pending false
+      in
+      if not blocked then begin
+        Msg_id.Tbl.remove t.pending p.msg.id;
+        Msg_id.Tbl.replace t.delivered p.msg.id ();
+        t.deliver p.msg;
+        loop ()
+      end
+  in
+  loop ()
+
+let maybe_finalize t p =
+  if p.final = None then begin
+    let addressees = Msg.dest_pids t.services.Services.topology p.msg in
+    if List.for_all (fun q -> Hashtbl.mem p.stamps q) addressees then begin
+      let f = Hashtbl.fold (fun _ ts acc -> max acc ts) p.stamps 0 in
+      p.final <- Some f;
+      t.clock <- max t.clock f;
+      delivery_test t
+    end
+  end
+
+let on_data t (m : Msg.t) =
+  if
+    (not (Msg_id.Tbl.mem t.pending m.id))
+    && not (Msg_id.Tbl.mem t.delivered m.id)
+  then begin
+    t.clock <- t.clock + 1;
+    let p =
+      { msg = m; own_ts = t.clock; stamps = Hashtbl.create 8; final = None }
+    in
+    Hashtbl.replace p.stamps t.services.Services.self t.clock;
+    (match Msg_id.Tbl.find_opt t.early_stamps m.id with
+    | Some stamps ->
+      List.iter (fun (q, ts) -> Hashtbl.replace p.stamps q ts) stamps;
+      Msg_id.Tbl.remove t.early_stamps m.id
+    | None -> ());
+    Msg_id.Tbl.replace t.pending m.id p;
+    let addressees = Msg.dest_pids t.services.Services.topology m in
+    List.iter
+      (fun q ->
+        if q <> t.services.Services.self then
+          t.services.Services.send ~dst:q (Stamp { id = m.id; ts = t.clock }))
+      addressees;
+    maybe_finalize t p
+  end
+
+let cast t (m : Msg.t) =
+  let addressees = Msg.dest_pids t.services.Services.topology m in
+  List.iter
+    (fun q ->
+      if q <> t.services.Services.self then
+        t.services.Services.send ~dst:q (Data m))
+    addressees;
+  (* The caster participates directly when it is itself an addressee. *)
+  if Msg.addressed_to_pid t.services.Services.topology m t.services.Services.self
+  then on_data t m
+
+let on_receive t ~src w =
+  match w with
+  | Data m -> on_data t m
+  | Stamp { id; ts } ->
+    t.clock <- max t.clock ts;
+    (match Msg_id.Tbl.find_opt t.pending id with
+    | Some p ->
+      if not (Hashtbl.mem p.stamps src) then Hashtbl.replace p.stamps src ts;
+      maybe_finalize t p
+    | None ->
+      if not (Msg_id.Tbl.mem t.delivered id) then begin
+        (* Stamp outran the Data message: buffer until Data arrives. *)
+        let prev =
+          Option.value ~default:[] (Msg_id.Tbl.find_opt t.early_stamps id)
+        in
+        Msg_id.Tbl.replace t.early_stamps id ((src, ts) :: prev)
+      end);
+    delivery_test t
+
+let create ~services ~config:_ ~deliver =
+  {
+    services;
+    deliver;
+    clock = 0;
+    pending = Msg_id.Tbl.create 32;
+    delivered = Msg_id.Tbl.create 32;
+    early_stamps = Msg_id.Tbl.create 8;
+  }
+
+let pending_count t = Msg_id.Tbl.length t.pending

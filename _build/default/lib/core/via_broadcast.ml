@@ -1,0 +1,19 @@
+let name = "via-broadcast"
+
+type t = { a2 : A2.t }
+type wire = A2.wire
+
+let tag = A2.tag
+
+let create ~services ~config ~deliver =
+  let topology = services.Runtime.Services.topology in
+  let my_group =
+    Net.Topology.group_of topology services.Runtime.Services.self
+  in
+  let filtered (m : Msg.t) =
+    if Msg.addressed_to_group m my_group then deliver m
+  in
+  { a2 = A2.create ~services ~config ~deliver:filtered }
+
+let cast t m = A2.cast_payload_only t.a2 m
+let on_receive t ~src w = A2.on_receive t.a2 ~src w

@@ -1,0 +1,17 @@
+(** Non-genuine atomic multicast over atomic broadcast.
+
+    The trivial reduction the introduction rules out as "of no practical
+    interest" — and the other side of the paper's central tradeoff: every
+    message is A-BCast to {e all} groups with {!A2} and simply filtered at
+    delivery, so processes outside [m.dest] carry traffic for messages that
+    do not concern them.
+
+    What you gain: A2's latency degree (1 warm, 2 cold) even for multicast,
+    beating the genuine lower bound of 2.
+    What you pay: O(n²) inter-group messages per message regardless of how
+    few groups are addressed, and every round involves the whole system.
+
+    The tradeoff benchmark sweeps the number of destination groups against
+    {!A1} to reproduce the paper's discussion (Sections 1 and 6). *)
+
+include Protocol.S

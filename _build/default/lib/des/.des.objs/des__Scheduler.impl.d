@@ -1,0 +1,1 @@
+lib/des/scheduler.ml: Event_queue Sim_time

@@ -1,0 +1,1 @@
+lib/des/scheduler.mli: Sim_time

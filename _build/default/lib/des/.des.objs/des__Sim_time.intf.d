@@ -1,0 +1,1 @@
+lib/des/sim_time.mli: Format

@@ -1,0 +1,99 @@
+type 'a entry = { time : Sim_time.t; seq : int; handle : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable next_handle : int;
+  pending : (int, unit) Hashtbl.t; (* handles scheduled and not yet popped/cancelled *)
+}
+
+let create () =
+  { heap = [||]; len = 0; next_seq = 0; next_handle = 0;
+    pending = Hashtbl.create 64 }
+
+let entry_lt a b =
+  let c = Sim_time.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let grow q =
+  let cap = Array.length q.heap in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let dummy = q.heap.(0) in
+  let nh = Array.make ncap dummy in
+  Array.blit q.heap 0 nh 0 q.len;
+  q.heap <- nh
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && entry_lt q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.len && entry_lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time payload =
+  let handle = q.next_handle in
+  q.next_handle <- handle + 1;
+  let e = { time; seq = q.next_seq; handle; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.len = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 e;
+  if q.len >= Array.length q.heap then grow q;
+  q.heap.(q.len) <- e;
+  q.len <- q.len + 1;
+  Hashtbl.replace q.pending handle ();
+  sift_up q (q.len - 1);
+  handle
+
+let cancel q handle = Hashtbl.remove q.pending handle
+
+let pop_entry q =
+  if q.len = 0 then None
+  else begin
+    let e = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    Some e
+  end
+
+let rec pop q =
+  match pop_entry q with
+  | None -> None
+  | Some e ->
+    if Hashtbl.mem q.pending e.handle then begin
+      Hashtbl.remove q.pending e.handle;
+      Some (e.time, e.payload)
+    end
+    else pop q (* cancelled: skip *)
+
+let rec peek_time q =
+  if q.len = 0 then None
+  else begin
+    let e = q.heap.(0) in
+    if Hashtbl.mem q.pending e.handle then Some e.time
+    else begin
+      ignore (pop_entry q);
+      peek_time q
+    end
+  end
+
+let size q = Hashtbl.length q.pending
+let is_empty q = size q = 0

@@ -1,0 +1,32 @@
+(** Priority queue of timed events.
+
+    A binary min-heap keyed by [(time, sequence)] where the sequence number
+    is the insertion order. The secondary key makes extraction deterministic:
+    two events scheduled for the same instant pop in insertion order, so a
+    simulation never depends on heap-internal tie-breaking. *)
+
+type 'a t
+(** A queue of events carrying payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val add : 'a t -> time:Sim_time.t -> 'a -> int
+(** [add q ~time payload] schedules [payload] at [time] and returns a unique
+    handle that identifies this entry (usable with {!cancel}). *)
+
+val cancel : 'a t -> int -> unit
+(** [cancel q handle] marks the entry as cancelled; it is skipped on
+    extraction. Cancelling an unknown or already-popped handle is a no-op. *)
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Removes and returns the earliest non-cancelled event, or [None] if the
+    queue has no live entries. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** The timestamp of the earliest live event, without removing it. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) entries. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,42 @@
+type handle = int
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Sim_time.t;
+}
+
+let create () = { queue = Event_queue.create (); clock = Sim_time.zero }
+
+let now t = t.clock
+
+let at t time f =
+  let time = Sim_time.max time t.clock in
+  Event_queue.add t.queue ~time f
+
+let after t d f = at t (Sim_time.add t.clock d) f
+
+let cancel t h = Event_queue.cancel t.queue h
+
+let pending t = Event_queue.size t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- Sim_time.max t.clock time;
+    f ();
+    true
+
+let run ?(until = Sim_time.infinity) ?(max_steps = max_int) t =
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some next when Sim_time.compare next until > 0 -> continue := false
+    | Some _ ->
+      if !steps >= max_steps then
+        failwith "Scheduler.run: max_steps exhausted (runaway event loop?)";
+      incr steps;
+      ignore (step t)
+  done

@@ -1,0 +1,46 @@
+(** The discrete-event simulation loop.
+
+    A scheduler owns a virtual clock and a queue of pending actions (thunks).
+    Running the scheduler repeatedly pops the earliest action, advances the
+    clock to its timestamp, and executes it; actions typically schedule
+    further actions (message deliveries, timer expirations).
+
+    The loop is single-threaded and deterministic: for a fixed seed and a
+    fixed program, every run executes the same actions in the same order. *)
+
+type t
+
+type handle = int
+(** Identifies a scheduled action, for cancellation. *)
+
+val create : unit -> t
+(** A scheduler with the clock at {!Sim_time.zero} and no pending actions. *)
+
+val now : t -> Sim_time.t
+(** Current virtual time. *)
+
+val at : t -> Sim_time.t -> (unit -> unit) -> handle
+(** [at t time f] schedules [f] to run at absolute [time]. Scheduling in the
+    past is clamped to the current instant (the action still runs strictly
+    after the currently-executing one). *)
+
+val after : t -> Sim_time.t -> (unit -> unit) -> handle
+(** [after t d f] schedules [f] to run [d] after the current instant. *)
+
+val cancel : t -> handle -> unit
+(** Cancels a pending action; no-op if it already ran. *)
+
+val pending : t -> int
+(** Number of actions still scheduled. *)
+
+val step : t -> bool
+(** Executes the single earliest pending action. Returns [false] if the
+    queue was empty (and the clock did not move). *)
+
+val run : ?until:Sim_time.t -> ?max_steps:int -> t -> unit
+(** [run t] executes actions until no action remains, the optional [until]
+    horizon is crossed (actions scheduled later stay pending), or
+    [max_steps] actions have run. The default horizon is
+    {!Sim_time.infinity} and the default step budget is unlimited.
+    @raise Failure if [max_steps] is exhausted — runaway protocol loops are
+    a bug, not a normal termination. *)

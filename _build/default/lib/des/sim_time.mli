@@ -1,0 +1,60 @@
+(** Simulated time for the discrete-event kernel.
+
+    Time is a non-negative count of microseconds since the start of the
+    simulation. Using an integer representation keeps event ordering exact
+    and runs bit-for-bit reproducible. *)
+
+type t = private int
+(** A point in simulated time, in microseconds. *)
+
+val zero : t
+(** The origin of simulated time. *)
+
+val of_us : int -> t
+(** [of_us n] is the time [n] microseconds after the origin.
+    @raise Invalid_argument if [n] is negative. *)
+
+val of_ms : int -> t
+(** [of_ms n] is the time [n] milliseconds after the origin. *)
+
+val of_sec : float -> t
+(** [of_sec s] is the time [s] seconds after the origin, rounded down to the
+    enclosing microsecond. *)
+
+val to_us : t -> int
+(** [to_us t] is [t] expressed in microseconds. *)
+
+val to_ms_float : t -> float
+(** [to_ms_float t] is [t] expressed in (fractional) milliseconds. *)
+
+val add : t -> t -> t
+(** [add a b] is the instant [b] after waiting duration [a] (or vice versa:
+    time points and durations share the representation). *)
+
+val add_us : t -> int -> t
+(** [add_us t n] is [t] shifted forward by [n] microseconds. The result is
+    clamped at [zero] if [n] is negative and larger than [t]. *)
+
+val diff : t -> t -> int
+(** [diff a b] is [a - b] in microseconds (possibly negative). *)
+
+val compare : t -> t -> int
+(** Total order on time points. *)
+
+val equal : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val infinity : t
+(** A time point greater than any time reachable in practice; used as a
+    horizon for [run_until]-style loops. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a time as e.g. ["12.345ms"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/fd/detector.ml: Hashtbl List Net Runtime

@@ -1,0 +1,1 @@
+lib/fd/detector.mli: Des Net Runtime

@@ -1,0 +1,1 @@
+lib/fd/heartbeat.ml: Des Detector Fmt Hashtbl List Net Runtime Sim_time

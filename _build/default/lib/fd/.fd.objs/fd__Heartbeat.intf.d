@@ -1,0 +1,1 @@
+lib/fd/heartbeat.mli: Des Detector Format Net Runtime

@@ -1,0 +1,23 @@
+type t = {
+  suspects : Net.Topology.pid -> bool;
+  subscribe : (unit -> unit) -> unit;
+}
+
+let leader t candidates =
+  List.find_opt (fun p -> not (t.suspects p)) candidates
+
+let oracle ~delay (services : _ Runtime.Services.t) =
+  let suspected = Hashtbl.create 8 in
+  let listeners = ref [] in
+  services.on_crash_detected ~delay (fun pid ->
+      if not (Hashtbl.mem suspected pid) then begin
+        Hashtbl.replace suspected pid ();
+        List.iter (fun f -> f ()) !listeners
+      end);
+  {
+    suspects = (fun q -> Hashtbl.mem suspected q);
+    subscribe = (fun f -> listeners := !listeners @ [ f ]);
+  }
+
+let never_suspects =
+  { suspects = (fun _ -> false); subscribe = (fun _ -> ()) }

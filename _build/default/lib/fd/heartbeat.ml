@@ -1,0 +1,106 @@
+open Des
+
+type msg = Ping of { seq : int }
+
+let pp_msg ppf (Ping { seq }) = Fmt.pf ppf "ping(%d)" seq
+
+type peer = {
+  mutable deadline_timer : int option;
+  mutable timeout : Sim_time.t;
+  mutable suspected : bool;
+}
+
+type 'w t = {
+  services : 'w Runtime.Services.t;
+  wrap : msg -> 'w;
+  peers : (Net.Topology.pid, peer) Hashtbl.t;
+  period : Sim_time.t;
+  mutable seq : int;
+  mutable listeners : (unit -> unit) list;
+  mutable stopped : bool;
+  mutable beat_timer : int option;
+}
+
+let notify t = List.iter (fun f -> f ()) t.listeners
+
+let rec arm_deadline t _pid peer =
+  peer.deadline_timer <-
+    Some
+      (t.services.set_timer ~after:peer.timeout (fun () ->
+           peer.deadline_timer <- None;
+           if (not t.stopped) && not peer.suspected then begin
+             peer.suspected <- true;
+             notify t
+           end))
+
+and handle t ~src (Ping _) =
+  if not t.stopped then
+    match Hashtbl.find_opt t.peers src with
+    | None -> ()
+    | Some peer ->
+      (match peer.deadline_timer with
+      | Some h -> t.services.cancel_timer h
+      | None -> ());
+      if peer.suspected then begin
+        (* False suspicion: revoke and back off, the ◇P adaptation rule. *)
+        peer.suspected <- false;
+        peer.timeout <- Sim_time.add peer.timeout peer.timeout;
+        notify t
+      end;
+      arm_deadline t src peer
+
+let rec beat t =
+  if not t.stopped then begin
+    t.seq <- t.seq + 1;
+    let ping = t.wrap (Ping { seq = t.seq }) in
+    Hashtbl.iter (fun pid _ -> t.services.send ~dst:pid ping) t.peers;
+    t.beat_timer <- Some (t.services.set_timer ~after:t.period (fun () -> beat t))
+  end
+
+let create ~services ~wrap ~monitored ~period ~timeout =
+  let t =
+    {
+      services;
+      wrap;
+      peers = Hashtbl.create 8;
+      period;
+      seq = 0;
+      listeners = [];
+      stopped = false;
+      beat_timer = None;
+    }
+  in
+  List.iter
+    (fun pid ->
+      if pid <> services.Runtime.Services.self then begin
+        let peer = { deadline_timer = None; timeout; suspected = false } in
+        Hashtbl.replace t.peers pid peer;
+        arm_deadline t pid peer
+      end)
+    monitored;
+  beat t;
+  t
+
+let detector t =
+  {
+    Detector.suspects =
+      (fun q ->
+        match Hashtbl.find_opt t.peers q with
+        | None -> false
+        | Some peer -> peer.suspected);
+    subscribe = (fun f -> t.listeners <- t.listeners @ [ f ]);
+  }
+
+let stop t =
+  t.stopped <- true;
+  (match t.beat_timer with
+  | Some h -> t.services.cancel_timer h
+  | None -> ());
+  Hashtbl.iter
+    (fun _ peer ->
+      match peer.deadline_timer with
+      | Some h ->
+        t.services.cancel_timer h;
+        peer.deadline_timer <- None
+      | None -> ())
+    t.peers

@@ -1,0 +1,42 @@
+(** A message-based eventually-perfect failure detector (◇P).
+
+    Every monitored process periodically sends heartbeats to its monitors; a
+    monitor suspects a peer whose heartbeat is overdue, and — on discovering
+    a false suspicion — revokes it and enlarges that peer's timeout, so in
+    any run with bounded (if unknown) delays suspicions are eventually
+    accurate and complete.
+
+    The detector is generic over the host protocol's wire type: the host
+    embeds {!msg} in its wire variant via [wrap] and routes incoming
+    heartbeat messages back with {!handle}.
+
+    Note: a heartbeat detector never becomes quiescent (that is inherent —
+    it must keep probing), so the quiescence experiments use the oracle
+    detector instead; see {!Detector.oracle}. *)
+
+type msg = Ping of { seq : int }
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type 'w t
+
+val create :
+  services:'w Runtime.Services.t ->
+  wrap:(msg -> 'w) ->
+  monitored:Net.Topology.pid list ->
+  period:Des.Sim_time.t ->
+  timeout:Des.Sim_time.t ->
+  'w t
+(** [create ~services ~wrap ~monitored ~period ~timeout] starts emitting
+    heartbeats to [monitored] every [period] and monitoring heartbeats from
+    them with the initial [timeout]. The local process is ignored if listed
+    in [monitored]. *)
+
+val handle : 'w t -> src:Net.Topology.pid -> msg -> unit
+(** Feed an incoming heartbeat to the detector. *)
+
+val detector : 'w t -> Detector.t
+(** The suspicion interface consumed by consensus. *)
+
+val stop : 'w t -> unit
+(** Cancels all timers and stops sending heartbeats (used to end tests). *)

@@ -1,0 +1,1 @@
+lib/harness/campaign.ml: Amcast Checker Des Fmt Latency List Metrics Net Rng Runner Runtime Sim_time Topology Workload

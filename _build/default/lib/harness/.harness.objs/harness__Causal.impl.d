@@ -1,0 +1,1 @@
+lib/harness/causal.ml: Array Hashtbl List Msg_id Option Runtime Trace

@@ -1,0 +1,1 @@
+lib/harness/causal.mli: Runtime

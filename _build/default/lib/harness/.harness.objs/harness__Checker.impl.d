@@ -1,0 +1,1 @@
+lib/harness/checker.ml: Amcast Array Causal Des Fmt Hashtbl Int List Msg_id Net Run_result Runtime String Topology Trace

@@ -1,0 +1,1 @@
+lib/harness/checker.mli: Run_result

@@ -1,0 +1,1 @@
+lib/harness/metrics.ml: Amcast Des Hashtbl Lclock List Msg_id Option Run_result Runtime String Trace

@@ -1,0 +1,1 @@
+lib/harness/run_result.ml: Amcast Des Fmt Lclock List Net Runtime Topology

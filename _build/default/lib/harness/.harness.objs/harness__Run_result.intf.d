@@ -1,0 +1,1 @@
+lib/harness/run_result.mli: Amcast Des Format Lclock Net Runtime

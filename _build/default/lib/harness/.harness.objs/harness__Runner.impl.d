@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Amcast Array Des Engine Latency List Msg_id Net Network Option Run_result Runtime Scheduler Services Sim_time Topology Trace Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Amcast Des Net Run_result Runtime Workload

@@ -1,0 +1,1 @@
+lib/harness/trace_render.ml: Buffer Des Fmt List Msg_id Net Runtime String Trace

@@ -1,0 +1,1 @@
+lib/harness/trace_render.mli: Format Net Runtime

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Des Fmt Int List Net Rng Sim_time Topology

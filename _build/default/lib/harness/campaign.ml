@@ -1,0 +1,131 @@
+open Des
+open Net
+
+type scenario = {
+  seed : int;
+  groups : int;
+  per_group : int;
+  n_msgs : int;
+  broadcast_only : bool;
+  with_crashes : bool;
+  jitter : bool;
+}
+
+type outcome = {
+  scenario : scenario;
+  violations : string list;
+  delivered : int;
+  max_degree : int option;
+  drained : bool;
+}
+
+type summary = {
+  runs : int;
+  clean : int;
+  total_violations : int;
+  failures : outcome list;
+  delivered_total : int;
+}
+
+let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true) () =
+  {
+    seed = Rng.int rng 1_000_000_000;
+    groups = 2 + Rng.int rng 3;
+    per_group = 1 + Rng.int rng 3;
+    n_msgs = 1 + Rng.int rng 12;
+    broadcast_only;
+    with_crashes;
+    jitter = Rng.bool rng;
+  }
+
+let faults_for s topo =
+  if not s.with_crashes then []
+  else begin
+    let rng = Rng.create (s.seed + 104729) in
+    List.concat_map
+      (fun g ->
+        let members = Topology.members topo g in
+        let crashable = (List.length members - 1) / 2 in
+        if crashable = 0 || Rng.bool rng then []
+        else
+          Rng.sample_without_replacement rng crashable members
+          |> List.map (fun pid ->
+                 let drop =
+                   match Rng.int rng 3 with
+                   | 0 -> Runtime.Engine.Keep_inflight
+                   | 1 -> Runtime.Engine.Lose_all_inflight
+                   | _ -> Runtime.Engine.Lose_each_with_probability 0.5
+                 in
+                 {
+                   Runner.at = Sim_time.of_ms (1 + Rng.int rng 300);
+                   pid;
+                   drop;
+                 }))
+      (Topology.all_groups topo)
+  end
+
+let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false) s =
+  let module R = Runner.Make (P) in
+  let topo = Topology.symmetric ~groups:s.groups ~per_group:s.per_group in
+  let latency = if s.jitter then Latency.wan_default else Latency.lan_only in
+  let rng = Rng.create (s.seed + 1) in
+  let workload =
+    Workload.generate ~rng ~topology:topo ~n:s.n_msgs
+      ~dest:
+        (if s.broadcast_only then Workload.To_all_groups
+         else Workload.Random_groups s.groups)
+      ~arrival:(`Poisson (Sim_time.of_ms 25))
+      ()
+  in
+  let faults = faults_for s topo in
+  let r = R.run ~seed:s.seed ~latency ~faults topo workload in
+  {
+    scenario = s;
+    violations =
+      Checker.check_all ~expect_genuine:(expect_genuine && not s.with_crashes)
+        r;
+    delivered = Metrics.delivered_count r;
+    max_degree = Metrics.max_latency_degree r;
+    drained = r.drained;
+  }
+
+let run proto ?expect_genuine ?broadcast_only ?with_crashes ~seed ~runs () =
+  let rng = Rng.create seed in
+  let outcomes =
+    List.init runs (fun _ ->
+        run_one proto ?expect_genuine
+          (random_scenario rng ?broadcast_only ?with_crashes ()))
+  in
+  let failures = List.filter (fun o -> o.violations <> []) outcomes in
+  {
+    runs;
+    clean = runs - List.length failures;
+    total_violations =
+      List.fold_left (fun acc o -> acc + List.length o.violations) 0 outcomes;
+    failures;
+    delivered_total =
+      List.fold_left (fun acc o -> acc + o.delivered) 0 outcomes;
+  }
+
+let pp_scenario ppf s =
+  Fmt.pf ppf
+    "seed=%d groups=%d d=%d msgs=%d%s%s%s" s.seed s.groups s.per_group
+    s.n_msgs
+    (if s.broadcast_only then " broadcast" else "")
+    (if s.with_crashes then " crashes" else "")
+    (if s.jitter then " jitter" else "")
+
+let pp_summary ppf t =
+  Fmt.pf ppf "@[<v>%d runs, %d clean, %d messages delivered@," t.runs t.clean
+    t.delivered_total;
+  if t.failures = [] then Fmt.pf ppf "no violations.@]"
+  else begin
+    Fmt.pf ppf "%d VIOLATIONS across %d runs:@," t.total_violations
+      (List.length t.failures);
+    List.iter
+      (fun o ->
+        Fmt.pf ppf "  [%a]@," pp_scenario o.scenario;
+        List.iter (fun v -> Fmt.pf ppf "    %s@," v) o.violations)
+      t.failures;
+    Fmt.pf ppf "@]"
+  end

@@ -1,0 +1,57 @@
+(** Randomised soak campaigns.
+
+    Runs many independently-seeded scenarios — random topology, workload,
+    latency model, crash schedule — through one protocol, checks every run
+    with {!Checker}, and aggregates. This is the library's "chaos testing"
+    entry point: the test suite runs small campaigns, and
+    [bin/amcast_soak] runs large ones from the command line. *)
+
+type scenario = {
+  seed : int;
+  groups : int;
+  per_group : int;
+  n_msgs : int;
+  broadcast_only : bool;  (** Force [dest = all groups]. *)
+  with_crashes : bool;
+      (** Crash up to a minority of each group at random instants, with
+          random in-flight-loss patterns. *)
+  jitter : bool;  (** WAN jitter vs crisp deterministic latencies. *)
+}
+
+type outcome = {
+  scenario : scenario;
+  violations : string list;
+  delivered : int;
+  max_degree : int option;
+  drained : bool;
+}
+
+type summary = {
+  runs : int;
+  clean : int;
+  total_violations : int;
+  failures : outcome list;  (** Outcomes with at least one violation. *)
+  delivered_total : int;
+}
+
+val random_scenario :
+  Des.Rng.t ->
+  ?broadcast_only:bool ->
+  ?with_crashes:bool ->
+  unit ->
+  scenario
+
+val run_one :
+  (module Amcast.Protocol.S) -> ?expect_genuine:bool -> scenario -> outcome
+
+val run :
+  (module Amcast.Protocol.S) ->
+  ?expect_genuine:bool ->
+  ?broadcast_only:bool ->
+  ?with_crashes:bool ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,117 @@
+open Runtime
+
+(* Event nodes are trace indices; the trace is chronological, so all edges
+   point forward and a single left-to-right pass computes longest paths. *)
+
+type node_kind =
+  | Send of { env : int; inter : bool }
+  | Receive of { env : int }
+  | Cast of Msg_id.t
+  | Deliver of Msg_id.t
+  | Other
+
+type t = {
+  kinds : node_kind array;
+  (* program-order predecessor of each node (same process), -1 if first *)
+  prev_on_pid : int array;
+  (* for a Receive node, the index of the matching Send; -1 if the send is
+     missing from the trace (should not happen when recording is on) *)
+  send_of_env : (int, int) Hashtbl.t;
+  casts : (Msg_id.t, int) Hashtbl.t;
+  delivers : (Msg_id.t, int list) Hashtbl.t;
+}
+
+let pid_of_entry = function
+  | Trace.Send { src; _ } -> Some src
+  | Trace.Receive { dst; _ } -> Some dst
+  | Trace.Cast { pid; _ } -> Some pid
+  | Trace.Deliver { pid; _ } -> Some pid
+  | Trace.Crash { pid; _ } -> Some pid
+  | Trace.Note { pid; _ } -> Some pid
+
+let of_trace trace =
+  let entries = Array.of_list (Trace.entries trace) in
+  let n = Array.length entries in
+  let kinds = Array.make n Other in
+  let prev_on_pid = Array.make n (-1) in
+  let send_of_env = Hashtbl.create (max 16 n) in
+  let casts = Hashtbl.create 16 in
+  let delivers = Hashtbl.create 16 in
+  let last_of_pid = Hashtbl.create 16 in
+  Array.iteri
+    (fun i entry ->
+      (match pid_of_entry entry with
+      | Some pid ->
+        (match Hashtbl.find_opt last_of_pid pid with
+        | Some j -> prev_on_pid.(i) <- j
+        | None -> ());
+        Hashtbl.replace last_of_pid pid i
+      | None -> ());
+      match entry with
+      | Trace.Send { env; inter_group; _ } ->
+        kinds.(i) <- Send { env; inter = inter_group };
+        Hashtbl.replace send_of_env env i
+      | Trace.Receive { env; _ } -> kinds.(i) <- Receive { env }
+      | Trace.Cast { id; _ } ->
+        kinds.(i) <- Cast id;
+        if not (Hashtbl.mem casts id) then Hashtbl.replace casts id i
+      | Trace.Deliver { id; _ } ->
+        kinds.(i) <- Deliver id;
+        Hashtbl.replace delivers id
+          (i :: Option.value ~default:[] (Hashtbl.find_opt delivers id))
+      | Trace.Crash _ | Trace.Note _ -> ())
+    entries;
+  { kinds; prev_on_pid; send_of_env; casts; delivers }
+
+(* Longest inter-group-hop distance from [root] to every node; [None] for
+   causally unreachable nodes. *)
+let distances t root =
+  let n = Array.length t.kinds in
+  let dist = Array.make n None in
+  dist.(root) <- Some 0;
+  let relax target candidate =
+    match (dist.(target), candidate) with
+    | _, None -> ()
+    | None, Some d -> dist.(target) <- Some d
+    | Some cur, Some d -> if d > cur then dist.(target) <- Some d
+  in
+  for i = 0 to n - 1 do
+    (* program-order edge from the previous event of the same process *)
+    let p = t.prev_on_pid.(i) in
+    if p >= 0 then relax i dist.(p);
+    (* message edge into a receive, weighted by the send's group crossing *)
+    match t.kinds.(i) with
+    | Receive { env } -> (
+      match Hashtbl.find_opt t.send_of_env env with
+      | Some s ->
+        relax i
+          (match (dist.(s), t.kinds.(s)) with
+          | Some d, Send { inter; _ } -> Some (if inter then d + 1 else d)
+          | _ -> None)
+      | None -> ())
+    | Send _ | Cast _ | Deliver _ | Other -> ()
+  done;
+  dist
+
+let latency_degree t id =
+  match Hashtbl.find_opt t.casts id with
+  | None -> None
+  | Some root -> (
+    let dist = distances t root in
+    match Hashtbl.find_opt t.delivers id with
+    | None | Some [] -> None
+    | Some ds ->
+      List.fold_left
+        (fun acc i ->
+          match (acc, dist.(i)) with
+          | None, d -> d
+          | Some a, Some d -> Some (max a d)
+          | Some a, None -> Some a)
+        None ds)
+
+let causally_precedes t a b =
+  match (Hashtbl.find_opt t.casts a, Hashtbl.find_opt t.casts b) with
+  | Some ra, Some rb ->
+    let dist = distances t ra in
+    dist.(rb) <> None
+  | _ -> false

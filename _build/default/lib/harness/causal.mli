@@ -1,0 +1,38 @@
+(** Causal analysis of run traces.
+
+    An independent implementation of the latency-degree metric: instead of
+    reading the modified Lamport clocks maintained by the runtime, this
+    module reconstructs Lamport's happened-before relation from the trace
+    (program order per process + send/receive matching) and computes, for
+    each delivery of a message, the maximum number of {e inter-group} sends
+    on any causal path from the A-XCast event.
+
+    Cross-checking the two implementations is itself a test: on a
+    single-message run they must agree exactly, and in general the clock
+    measurement can only exceed the path measurement (concurrent traffic
+    inflates clock values but never creates causal paths). The property
+    suite asserts both.
+
+    The reconstruction matches a receive to its send by (src, dst, carried
+    clock value, order of occurrence), which is unambiguous because the
+    runtime logs sends and receives in global virtual-time order and the
+    network never duplicates messages. *)
+
+type t
+
+val of_trace : Runtime.Trace.t -> t
+(** Builds the happened-before DAG of a recorded run. Cost is linear in the
+    trace for construction; queries run a DAG traversal. *)
+
+val latency_degree : t -> Runtime.Msg_id.t -> int option
+(** [latency_degree t id] is the causal-path latency degree of message
+    [id]: the maximum over its A-Deliver events of the largest number of
+    inter-group sends on any causal path from the A-XCast event. [None] if
+    the message was never cast or never delivered, or if delivery is not
+    causally reachable from the cast (which would indicate a protocol that
+    delivers out of thin air — the checker treats that separately). *)
+
+val causally_precedes :
+  t -> Runtime.Msg_id.t -> Runtime.Msg_id.t -> bool
+(** [causally_precedes t a b] is whether the A-XCast of [a] happened-before
+    the A-XCast of [b]. *)

@@ -1,0 +1,199 @@
+open Net
+open Runtime
+
+type violation = string
+
+let cast_ids (r : Run_result.t) =
+  List.fold_left
+    (fun acc (c : Run_result.cast_event) ->
+      Msg_id.Set.add c.msg.Amcast.Msg.id acc)
+    Msg_id.Set.empty r.casts
+
+let uniform_integrity (r : Run_result.t) =
+  let casts = cast_ids r in
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc (d : Run_result.delivery_event) ->
+      let id = d.msg.Amcast.Msg.id in
+      let acc =
+        if Hashtbl.mem seen (d.pid, id) then
+          Fmt.str "p%d delivered %a twice" d.pid Msg_id.pp id :: acc
+        else begin
+          Hashtbl.replace seen (d.pid, id) ();
+          acc
+        end
+      in
+      let acc =
+        if not (Msg_id.Set.mem id casts) then
+          Fmt.str "p%d delivered %a which was never cast" d.pid Msg_id.pp id
+          :: acc
+        else acc
+      in
+      if not (Amcast.Msg.addressed_to_pid r.topology d.msg d.pid) then
+        Fmt.str "p%d delivered %a but is not an addressee" d.pid Msg_id.pp id
+        :: acc
+      else acc)
+    [] r.deliveries
+
+let validity (r : Run_result.t) =
+  if not r.drained then []
+  else
+    List.fold_left
+      (fun acc (c : Run_result.cast_event) ->
+        let id = c.msg.Amcast.Msg.id in
+        if Run_result.correct r c.origin then
+          if Run_result.delivered_everywhere_needed r id then acc
+          else
+            Fmt.str
+              "validity: %a cast by correct p%d not delivered by every \
+               correct addressee"
+              Msg_id.pp id c.origin
+            :: acc
+        else acc)
+      [] r.casts
+
+let uniform_agreement (r : Run_result.t) =
+  if not r.drained then []
+  else
+    let delivered_somewhere =
+      List.fold_left
+        (fun acc (d : Run_result.delivery_event) ->
+          Msg_id.Set.add d.msg.Amcast.Msg.id acc)
+        Msg_id.Set.empty r.deliveries
+    in
+    Msg_id.Set.fold
+      (fun id acc ->
+        if Run_result.delivered_everywhere_needed r id then acc
+        else
+          Fmt.str
+            "uniform agreement: %a delivered somewhere but not by every \
+             correct addressee"
+            Msg_id.pp id
+          :: acc)
+      delivered_somewhere []
+
+(* Projected prefix order: for each pair (p, q), restrict both sequences to
+   the messages addressed to both p's and q's group, and require one to be
+   a prefix of the other. *)
+let uniform_prefix_order (r : Run_result.t) =
+  let pids = Topology.all_pids r.topology in
+  let seqs =
+    List.map (fun p -> (p, Array.of_list (Run_result.sequence_of r p))) pids
+  in
+  let project gp gq seq =
+    Array.to_list seq
+    |> List.filter (fun (m : Amcast.Msg.t) ->
+           Amcast.Msg.addressed_to_group m gp
+           && Amcast.Msg.addressed_to_group m gq)
+  in
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' -> Amcast.Msg.equal_id x y && is_prefix a' b'
+  in
+  let violations = ref [] in
+  List.iter
+    (fun (p, sp) ->
+      List.iter
+        (fun (q, sq) ->
+          if p < q then begin
+            let gp = Topology.group_of r.topology p in
+            let gq = Topology.group_of r.topology q in
+            let pp_ = project gp gq sp in
+            let pq = project gp gq sq in
+            if not (is_prefix pp_ pq || is_prefix pq pp_) then
+              violations :=
+                Fmt.str
+                  "prefix order violated between p%d [%a] and p%d [%a]" p
+                  Fmt.(list ~sep:(any " ") Amcast.Msg.pp)
+                  pp_ q
+                  Fmt.(list ~sep:(any " ") Amcast.Msg.pp)
+                  pq
+                :: !violations
+          end)
+        seqs)
+    seqs;
+  !violations
+
+let genuineness (r : Run_result.t) =
+  let allowed =
+    List.fold_left
+      (fun acc (c : Run_result.cast_event) ->
+        List.fold_left
+          (fun acc p -> p :: acc)
+          (c.origin :: acc)
+          (Amcast.Msg.dest_pids r.topology c.msg))
+      [] r.casts
+    |> List.sort_uniq Int.compare
+  in
+  let check pid role time acc =
+    if List.mem pid allowed then acc
+    else
+      Fmt.str
+        "genuineness: p%d %s a message at %a but is neither caster nor \
+         addressee of any cast"
+        pid role Des.Sim_time.pp time
+      :: acc
+  in
+  List.fold_left
+    (fun acc entry ->
+      match entry with
+      | Trace.Send { src; dst; time; _ } ->
+        check src "sent" time (check dst "was sent" time acc)
+      | _ -> acc)
+    []
+    (Trace.entries r.trace)
+  |> List.sort_uniq String.compare
+
+(* Causal order: cast(m1) -> cast(m2) implies m1 before m2 at every
+   process delivering both. Pairwise over cast messages using the
+   happened-before DAG reconstructed from the trace. *)
+let causal_delivery_order (r : Run_result.t) =
+  let causal = Causal.of_trace r.trace in
+  let ids =
+    List.map (fun (c : Run_result.cast_event) -> c.msg.Amcast.Msg.id) r.casts
+  in
+  let position_of seq id =
+    let rec find i = function
+      | [] -> None
+      | (m : Amcast.Msg.t) :: rest ->
+        if Msg_id.equal m.id id then Some i else find (i + 1) rest
+    in
+    find 0 seq
+  in
+  let violations = ref [] in
+  List.iter
+    (fun id1 ->
+      List.iter
+        (fun id2 ->
+          if
+            (not (Msg_id.equal id1 id2))
+            && Causal.causally_precedes causal id1 id2
+          then
+            List.iter
+              (fun p ->
+                let seq = Run_result.sequence_of r p in
+                match (position_of seq id1, position_of seq id2) with
+                | Some i1, Some i2 when i2 < i1 ->
+                  violations :=
+                    Fmt.str
+                      "causal order: p%d delivered %a before %a although \
+                       cast(%a) happened-before cast(%a)"
+                      p Msg_id.pp id2 Msg_id.pp id1 Msg_id.pp id1 Msg_id.pp
+                      id2
+                    :: !violations
+                | _ -> ())
+              (Topology.all_pids r.topology))
+        ids)
+    ids;
+  !violations
+
+let quiescence (r : Run_result.t) =
+  if r.drained then []
+  else [ "run did not drain: the deployment kept scheduling events" ]
+
+let check_all ?(expect_genuine = false) r =
+  uniform_integrity r @ validity r @ uniform_agreement r
+  @ uniform_prefix_order r
+  @ if expect_genuine then genuineness r else []

@@ -1,0 +1,55 @@
+(** Correctness oracles for the agreement properties of Section 2.2.
+
+    Each check inspects a finished run and returns human-readable violation
+    descriptions (empty list = property holds on this run). The property
+    tests feed randomised runs through {!check_all}.
+
+    The prefix-order check exploits a closure property: per-process
+    delivery sequences only grow, so if the {e final} projected sequences
+    of two processes are prefix-related, the projected sequences at every
+    earlier instant were prefix-related too. Checking the end state
+    therefore checks the property at all times [t]. *)
+
+type violation = string
+
+val uniform_integrity : Run_result.t -> violation list
+(** Each process delivers a message at most once, only if addressed to its
+    group, and only if the message was cast. *)
+
+val validity : Run_result.t -> violation list
+(** If a correct process casts [m], every correct addressee delivers [m].
+    Only meaningful on runs that reached quiescence ([drained]); on
+    horizon-bounded runs this check is skipped. *)
+
+val uniform_agreement : Run_result.t -> violation list
+(** If {e any} process (even one that later crashed) delivers [m], every
+    correct addressee delivers [m]. Skipped on horizon-bounded runs. *)
+
+val uniform_prefix_order : Run_result.t -> violation list
+(** For any two processes, the delivery sequences projected on their common
+    messages are prefix-related. *)
+
+val genuineness : Run_result.t -> violation list
+(** Only addressees and casters take part: every process that appears as
+    the source or destination of any network send must be the caster or an
+    addressee of some cast message. (Prop. 3.2's premise; holds for A1 and
+    trivially fails for broadcast-based multicast.) *)
+
+val quiescence : Run_result.t -> violation list
+(** The run drained: after finitely many casts the deployment stopped
+    sending. Only meaningful for runs executed without a horizon. *)
+
+val causal_delivery_order : Run_result.t -> violation list
+(** If the A-XCast of [m1] happened-before the A-XCast of [m2] (e.g. the
+    caster of [m2] had already delivered [m1]), then no process delivers
+    [m2] before [m1]. Not part of the Section 2.2 specification — and
+    {e not} guaranteed by timestamp-based multicast in general: in A1, a
+    message causally after [m1] but addressed to other groups can pick up
+    a smaller final timestamp. Atomic {e broadcast} with A2 does provide
+    it (a causally later message lands in a strictly later round, and
+    same-origin messages in one round are ordered by sequence number), so
+    the A2 suites check it as a derived guarantee. Requires the trace. *)
+
+val check_all : ?expect_genuine:bool -> Run_result.t -> violation list
+(** Integrity + validity + agreement + prefix order, plus genuineness when
+    [expect_genuine] (default false). *)

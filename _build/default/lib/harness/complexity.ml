@@ -1,0 +1,69 @@
+type cost = { latency_degree : int; inter_msgs : int }
+
+(* Primitive costs from the paper's Section 6: reliable multicast to k
+   groups of d costs d(k-1) inter-group messages at degree 1; consensus
+   across k groups of d costs 2kd(kd-1) at degree 2 (intra-group consensus
+   is free in inter-group messages). *)
+let rm ~k ~d = d * (k - 1)
+let cross_consensus ~k ~d = 2 * k * d * ((k * d) - 1)
+
+let ring ~k ~d =
+  {
+    latency_degree = k + 1;
+    (* rm to the first group + (k-1) hand-offs of d² messages + the final
+       acknowledgment from the last group to all k groups *)
+    inter_msgs = rm ~k:2 ~d + ((k - 1) * d * d) + (d * (k - 1) * d);
+  }
+
+let scalable ~k ~d =
+  {
+    latency_degree = 4;
+    (* rm + all-to-all timestamp exchange + cross-group consensus *)
+    inter_msgs =
+      rm ~k ~d + (k * d * (k - 1) * d) + cross_consensus ~k ~d;
+  }
+
+let fritzke ~k ~d =
+  {
+    latency_degree = 2;
+    (* rm + TS exchange: every destination process writes to the d(k-1)
+       processes outside its group *)
+    inter_msgs = rm ~k ~d + (k * d * (k - 1) * d);
+  }
+
+let a1 ~k ~d = fritzke ~k ~d (* same inter-group pattern; skips are intra *)
+
+let detmerge_multicast ~k ~d =
+  { latency_degree = 1; inter_msgs = rm ~k ~d }
+
+let optimistic ~n = { latency_degree = 2; inter_msgs = 2 * n }
+let sequencer ~n = { latency_degree = 2; inter_msgs = (2 * n) + (n * n) }
+let a2 ~n = { latency_degree = 1; inter_msgs = n * n }
+let detmerge_broadcast ~n = { latency_degree = 1; inter_msgs = n }
+
+let dominates_in_latency a b = a.latency_degree < b.latency_degree
+
+let multicast_ordering_holds ~k ~d =
+  if k < 2 then invalid_arg "multicast_ordering_holds: k >= 2 expected";
+  let r = ring ~k ~d
+  and s = scalable ~k ~d
+  and f = fritzke ~k ~d
+  and a = a1 ~k ~d
+  and dm = detmerge_multicast ~k ~d in
+  dominates_in_latency dm a
+  && a.latency_degree = f.latency_degree
+  && a.latency_degree < r.latency_degree
+  && a.latency_degree <= s.latency_degree
+  && dm.inter_msgs < r.inter_msgs
+  && r.inter_msgs < s.inter_msgs
+  && a.inter_msgs <= s.inter_msgs
+
+let broadcast_ordering_holds ~n =
+  let o = optimistic ~n
+  and sq = sequencer ~n
+  and a = a2 ~n
+  and dm = detmerge_broadcast ~n in
+  dominates_in_latency a o && dominates_in_latency a sq
+  && a.latency_degree = dm.latency_degree
+  && dm.inter_msgs < sq.inter_msgs
+  && o.inter_msgs < a.inter_msgs

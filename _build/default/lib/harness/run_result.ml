@@ -1,0 +1,68 @@
+open Net
+
+type cast_event = {
+  msg : Amcast.Msg.t;
+  origin : Topology.pid;
+  at : Des.Sim_time.t;
+  lc : Lclock.t;
+}
+
+type delivery_event = {
+  pid : Topology.pid;
+  msg : Amcast.Msg.t;
+  at : Des.Sim_time.t;
+  lc : Lclock.t;
+}
+
+type t = {
+  topology : Topology.t;
+  casts : cast_event list;
+  deliveries : delivery_event list;
+  crashed : Topology.pid list;
+  trace : Runtime.Trace.t;
+  inter_group_msgs : int;
+  intra_group_msgs : int;
+  end_time : Des.Sim_time.t;
+  drained : bool;
+}
+
+let correct t pid = not (List.mem pid t.crashed)
+
+let sequence_of t pid =
+  List.filter_map
+    (fun d -> if d.pid = pid then Some d.msg else None)
+    t.deliveries
+
+let cast_of t id =
+  List.find_opt
+    (fun (c : cast_event) -> Runtime.Msg_id.equal c.msg.Amcast.Msg.id id)
+    t.casts
+
+let deliveries_of t id =
+  List.filter
+    (fun (d : delivery_event) ->
+      Runtime.Msg_id.equal d.msg.Amcast.Msg.id id)
+    t.deliveries
+
+let delivered_everywhere_needed t id =
+  match cast_of t id with
+  | None -> false
+  | Some c ->
+    let addressees = Amcast.Msg.dest_pids t.topology c.msg in
+    List.for_all
+      (fun p ->
+        (not (correct t p))
+        || List.exists (fun (d : delivery_event) -> d.pid = p)
+             (deliveries_of t id))
+      addressees
+
+let pp_summary ppf t =
+  Fmt.pf ppf
+    "@[<v>casts: %d@ deliveries: %d@ crashed: [%a]@ inter-group msgs: %d@ \
+     intra-group msgs: %d@ end: %a (%s)@]"
+    (List.length t.casts)
+    (List.length t.deliveries)
+    Fmt.(list ~sep:(any ",") int)
+    t.crashed t.inter_group_msgs t.intra_group_msgs Des.Sim_time.pp
+    t.end_time
+    (if t.drained then "quiescent" else "horizon reached")

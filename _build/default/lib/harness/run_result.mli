@@ -1,0 +1,50 @@
+(** The observable outcome of one simulated run.
+
+    Everything the metrics and the correctness checkers need: the cast
+    events (with Lamport values), the delivery events in order of
+    occurrence, per-process delivery sequences, message counters and the
+    full trace. *)
+
+type cast_event = {
+  msg : Amcast.Msg.t;
+  origin : Net.Topology.pid;
+  at : Des.Sim_time.t;
+  lc : Lclock.t;  (** Clock value at the A-XCast event. *)
+}
+
+type delivery_event = {
+  pid : Net.Topology.pid;
+  msg : Amcast.Msg.t;
+  at : Des.Sim_time.t;
+  lc : Lclock.t;  (** Clock value at the A-Deliver event. *)
+}
+
+type t = {
+  topology : Net.Topology.t;
+  casts : cast_event list;  (** In cast order. *)
+  deliveries : delivery_event list;  (** In global order of occurrence. *)
+  crashed : Net.Topology.pid list;
+      (** Processes that crashed during the run (faulty); the rest are
+          correct. *)
+  trace : Runtime.Trace.t;
+  inter_group_msgs : int;
+  intra_group_msgs : int;
+  end_time : Des.Sim_time.t;
+  drained : bool;
+      (** Whether the run ended because the event queue drained (the
+          deployment became quiescent) rather than because the horizon was
+          reached. *)
+}
+
+val correct : t -> Net.Topology.pid -> bool
+
+val sequence_of : t -> Net.Topology.pid -> Amcast.Msg.t list
+(** The delivery sequence of a process, oldest first. *)
+
+val cast_of : t -> Runtime.Msg_id.t -> cast_event option
+val deliveries_of : t -> Runtime.Msg_id.t -> delivery_event list
+
+val delivered_everywhere_needed : t -> Runtime.Msg_id.t -> bool
+(** True when every correct addressee delivered the message. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+open Des
+open Net
+open Runtime
+
+type fault = { at : Sim_time.t; pid : Topology.pid; drop : Engine.drop_spec }
+
+let crash ?(drop = Engine.Keep_inflight) ~at pid = { at; pid; drop }
+
+module Make (P : Amcast.Protocol.S) = struct
+  type deployment = {
+    engine : P.wire Engine.t;
+    nodes : P.t option array;
+    next_seq : int array; (* per-origin message sequence numbers *)
+    mutable casts : Run_result.cast_event list; (* newest first *)
+    mutable deliveries : Run_result.delivery_event list; (* newest first *)
+  }
+
+  let deploy ?(seed = 0) ?(latency = Latency.wan_default)
+      ?(config = Amcast.Protocol.Config.default) ?(record_trace = true)
+      ?(faults = []) topology =
+    let engine = Engine.create ~seed ~latency ~record_trace ~tag:P.tag topology in
+    let n = Topology.n_processes topology in
+    let d =
+      {
+        engine;
+        nodes = Array.make n None;
+        next_seq = Array.make n 0;
+        casts = [];
+        deliveries = [];
+      }
+    in
+    List.iter
+      (fun pid ->
+        let node =
+          Engine.spawn engine pid (fun services ->
+              let deliver msg =
+                services.Services.record_deliver msg.Amcast.Msg.id;
+                d.deliveries <-
+                  {
+                    Run_result.pid;
+                    msg;
+                    at = services.Services.now ();
+                    lc = services.Services.lc ();
+                  }
+                  :: d.deliveries
+              in
+              let state = P.create ~services ~config ~deliver in
+              ( state,
+                {
+                  Engine.on_receive =
+                    (fun ~src w -> P.on_receive state ~src w);
+                } ))
+        in
+        d.nodes.(pid) <- Some node)
+      (Topology.all_pids topology);
+    List.iter
+      (fun { at; pid; drop } -> Engine.schedule_crash ~drop engine ~at pid)
+      faults;
+    d
+
+  let engine d = d.engine
+  let node d pid = Option.get d.nodes.(pid)
+
+  let cast_at d ~at ~origin ~dest ?(payload = "m") () =
+    let seq = d.next_seq.(origin) in
+    d.next_seq.(origin) <- seq + 1;
+    let id = Msg_id.make ~origin ~seq in
+    let msg = Amcast.Msg.make ~id ~dest payload in
+    Engine.at d.engine at (fun () ->
+        let services = Engine.services d.engine origin in
+        services.Services.record_cast id;
+        d.casts <-
+          {
+            Run_result.msg;
+            origin;
+            at = services.Services.now ();
+            lc = services.Services.lc ();
+          }
+          :: d.casts;
+        P.cast (Option.get d.nodes.(origin)) msg);
+    id
+
+  let schedule d (workload : Workload.t) =
+    List.map
+      (fun (c : Workload.cast) ->
+        cast_at d ~at:c.at ~origin:c.origin ~dest:c.dest ~payload:c.payload
+          ())
+      workload
+
+  let run_deployment ?until ?(max_steps = 50_000_000) d =
+    Engine.run ?until ~max_steps d.engine;
+    let trace = Engine.trace d.engine in
+    let crashed =
+      List.filter_map
+        (function Trace.Crash { pid; _ } -> Some pid | _ -> None)
+        (Trace.entries trace)
+    in
+    let network = Engine.network d.engine in
+    {
+      Run_result.topology = Engine.topology d.engine;
+      casts = List.rev d.casts;
+      deliveries = List.rev d.deliveries;
+      crashed;
+      trace;
+      inter_group_msgs = Network.sent_inter_group network;
+      intra_group_msgs = Network.sent_intra_group network;
+      end_time = Engine.now d.engine;
+      drained = Scheduler.pending (Engine.scheduler d.engine) = 0;
+    }
+
+  let run ?seed ?latency ?config ?record_trace ?faults ?until ?max_steps
+      topology workload =
+    let d = deploy ?seed ?latency ?config ?record_trace ?faults topology in
+    ignore (schedule d workload);
+    run_deployment ?until ?max_steps d
+end

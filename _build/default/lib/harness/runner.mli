@@ -1,0 +1,78 @@
+(** Deploys a protocol on a simulated WAN and runs workloads against it.
+
+    [Runner.Make (P)] instantiates one engine with [P]'s wire type, spawns
+    one protocol instance per process, and wraps the protocol's [cast] and
+    [deliver] with the Lamport-clock trace events, so every protocol is
+    measured by exactly the same instrumentation.
+
+    Two usage levels:
+    - {!Make.run} — one-shot: deploy, schedule a workload and faults, run
+      to quiescence (or a horizon), return the {!Run_result.t};
+    - {!Make.deploy} + the deployment accessors — for experiments that need
+      to interleave casts with manual control (link holds, mid-run casts,
+      warm-up phases), e.g. the Theorem 5.1/5.2 runs. *)
+
+type fault = {
+  at : Des.Sim_time.t;
+  pid : Net.Topology.pid;
+  drop : Runtime.Engine.drop_spec;
+}
+
+val crash :
+  ?drop:Runtime.Engine.drop_spec ->
+  at:Des.Sim_time.t ->
+  Net.Topology.pid ->
+  fault
+(** Convenience constructor; [drop] defaults to [Keep_inflight]. *)
+
+module Make (P : Amcast.Protocol.S) : sig
+  type deployment
+
+  val deploy :
+    ?seed:int ->
+    ?latency:Net.Latency.t ->
+    ?config:Amcast.Protocol.Config.t ->
+    ?record_trace:bool ->
+    ?faults:fault list ->
+    Net.Topology.t ->
+    deployment
+  (** Creates the engine and spawns every process. *)
+
+  val engine : deployment -> P.wire Runtime.Engine.t
+  val node : deployment -> Net.Topology.pid -> P.t
+
+  val cast_at :
+    deployment ->
+    at:Des.Sim_time.t ->
+    origin:Net.Topology.pid ->
+    dest:Net.Topology.gid list ->
+    ?payload:string ->
+    unit ->
+    Runtime.Msg_id.t
+  (** Schedules an A-XCast; returns the id the message will carry. *)
+
+  val schedule : deployment -> Workload.t -> Runtime.Msg_id.t list
+  (** Schedules every cast of a workload; returns their ids in order. *)
+
+  val run_deployment :
+    ?until:Des.Sim_time.t -> ?max_steps:int -> deployment -> Run_result.t
+  (** Runs the simulation and snapshots the observable outcome. Can be
+      called again after scheduling more casts; counters are cumulative.
+      [max_steps] defaults to 50M as a runaway guard: a deployment whose
+      liveness assumptions are violated (e.g. no correct majority in a
+      group) retries forever, and the guard turns that into a failure
+      instead of a hang. *)
+
+  val run :
+    ?seed:int ->
+    ?latency:Net.Latency.t ->
+    ?config:Amcast.Protocol.Config.t ->
+    ?record_trace:bool ->
+    ?faults:fault list ->
+    ?until:Des.Sim_time.t ->
+    ?max_steps:int ->
+    Net.Topology.t ->
+    Workload.t ->
+    Run_result.t
+  (** [run topology workload] = deploy, schedule, run to quiescence. *)
+end

@@ -1,0 +1,64 @@
+open Runtime
+
+let cell_of_entry entry =
+  match entry with
+  | Trace.Send { src; dst; tag; inter_group; _ } ->
+    Some (src, Fmt.str "%s>%d%s" tag dst (if inter_group then "*" else ""))
+  | Trace.Receive { src; dst; _ } -> Some (dst, Fmt.str "recv<%d" src)
+  | Trace.Cast { pid; id; _ } -> Some (pid, Fmt.str "CAST %s" (Msg_id.to_string id))
+  | Trace.Deliver { pid; id; _ } ->
+    Some (pid, Fmt.str "DLVR %s" (Msg_id.to_string id))
+  | Trace.Crash { pid; _ } -> Some (pid, "CRASH")
+  | Trace.Note { pid; text; _ } -> Some (pid, Fmt.str "(%s)" text)
+
+let time_of_entry = function
+  | Trace.Send { time; _ }
+  | Trace.Receive { time; _ }
+  | Trace.Cast { time; _ }
+  | Trace.Deliver { time; _ }
+  | Trace.Crash { time; _ }
+  | Trace.Note { time; _ } ->
+    time
+
+let timeline ?(max_rows = 200) ~topology trace =
+  let n = Net.Topology.n_processes topology in
+  let entries = Trace.entries trace in
+  let rows =
+    List.filter_map
+      (fun e ->
+        match cell_of_entry e with
+        | Some (pid, text) -> Some (time_of_entry e, pid, text)
+        | None -> None)
+      entries
+  in
+  let truncated = List.length rows > max_rows in
+  let rows = List.filteri (fun i _ -> i < max_rows) rows in
+  let col_width =
+    List.fold_left
+      (fun acc (_, _, text) -> max acc (String.length text))
+      6 rows
+    + 1
+  in
+  let buf = Buffer.create 4096 in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  Buffer.add_string buf (pad "time" 10);
+  for pid = 0 to n - 1 do
+    Buffer.add_string buf
+      (pad (Fmt.str "| p%d(g%d)" pid (Net.Topology.group_of topology pid))
+         col_width)
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (time, pid, text) ->
+      Buffer.add_string buf (pad (Des.Sim_time.to_string time) 10);
+      for p = 0 to n - 1 do
+        Buffer.add_string buf
+          (pad (if p = pid then "| " ^ text else "|") col_width)
+      done;
+      Buffer.add_char buf '\n')
+    rows;
+  if truncated then Buffer.add_string buf "... (truncated)\n";
+  Buffer.contents buf
+
+let pp ?max_rows ~topology ppf trace =
+  Fmt.string ppf (timeline ?max_rows ~topology trace)

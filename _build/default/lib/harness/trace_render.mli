@@ -1,0 +1,19 @@
+(** Renders a run trace as a per-process timeline.
+
+    One column per process, one row per event, so protocol behaviour — the
+    rmcast fan-out, the consensus rounds inside a group, the TS exchange
+    crossing groups, a crash going silent — is readable at a glance.
+    Used by [amcast_sim --print-timeline] and handy in the toplevel while
+    debugging protocols. *)
+
+val timeline :
+  ?max_rows:int -> topology:Net.Topology.t -> Runtime.Trace.t -> string
+(** [timeline ~topology trace] is a textual table; [max_rows] (default
+    200) truncates long traces with an ellipsis row. *)
+
+val pp :
+  ?max_rows:int ->
+  topology:Net.Topology.t ->
+  Format.formatter ->
+  Runtime.Trace.t ->
+  unit

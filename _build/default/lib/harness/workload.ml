@@ -1,0 +1,67 @@
+open Des
+open Net
+
+type cast = {
+  at : Sim_time.t;
+  origin : Topology.pid;
+  dest : Topology.gid list;
+  payload : string;
+}
+
+type t = cast list
+
+let single ?(payload = "m") ~at ~origin ~dest () =
+  [ { at; origin; dest; payload } ]
+
+let broadcast_single ?(payload = "m") ~at ~origin topology =
+  [ { at; origin; dest = Topology.all_groups topology; payload } ]
+
+type dest_kind =
+  | To_all_groups
+  | Random_groups of int
+  | Fixed_groups of Topology.gid list
+
+let pick_dest ~rng ~topology = function
+  | To_all_groups -> Topology.all_groups topology
+  | Fixed_groups gs -> gs
+  | Random_groups k ->
+    let m = Topology.n_groups topology in
+    let k = max 1 (min k m) in
+    let size = 1 + Rng.int rng k in
+    Rng.sample_without_replacement rng size (Topology.all_groups topology)
+    |> List.sort_uniq Int.compare
+
+let generate ~rng ~topology ~n ~dest ~arrival ?(start = Sim_time.of_ms 1)
+    ?origins () =
+  let origins =
+    match origins with
+    | Some (_ :: _ as l) -> Array.of_list l
+    | Some [] | None -> Array.of_list (Topology.all_pids topology)
+  in
+  let time = ref start in
+  List.init n (fun i ->
+      let at = !time in
+      (match arrival with
+      | `Every gap -> time := Sim_time.add !time gap
+      | `Poisson mean ->
+        let gap =
+          Rng.exponential rng ~mean:(float_of_int (Sim_time.to_us mean))
+        in
+        time := Sim_time.add_us !time (max 1 (int_of_float gap)));
+      {
+        at;
+        origin = Rng.pick rng origins;
+        dest = pick_dest ~rng ~topology dest;
+        payload = Fmt.str "m%d" i;
+      })
+
+let span t =
+  List.fold_left (fun acc c -> Sim_time.max acc c.at) Sim_time.zero t
+
+let pp ppf t =
+  let pp_cast ppf c =
+    Fmt.pf ppf "%a p%d->[%a] %S" Sim_time.pp c.at c.origin
+      Fmt.(list ~sep:(any ",") int)
+      c.dest c.payload
+  in
+  Fmt.(list ~sep:(any "@\n") pp_cast) ppf t

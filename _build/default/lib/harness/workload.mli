@@ -1,0 +1,59 @@
+(** Workloads: timed sequences of A-XCasts.
+
+    A workload is what an experiment injects into a deployment: who casts,
+    when, and to which groups. Message ids are assigned by the runner
+    (per-origin sequence numbers), so workloads stay declarative. *)
+
+type cast = {
+  at : Des.Sim_time.t;
+  origin : Net.Topology.pid;
+  dest : Net.Topology.gid list;
+  payload : string;
+}
+
+type t = cast list
+(** Sorted or not — the runner schedules each cast at its own instant. *)
+
+val single :
+  ?payload:string ->
+  at:Des.Sim_time.t ->
+  origin:Net.Topology.pid ->
+  dest:Net.Topology.gid list ->
+  unit ->
+  t
+(** One cast. *)
+
+val broadcast_single :
+  ?payload:string ->
+  at:Des.Sim_time.t ->
+  origin:Net.Topology.pid ->
+  Net.Topology.t ->
+  t
+(** One cast addressed to every group. *)
+
+(** Destination-set shapes for generated workloads. *)
+type dest_kind =
+  | To_all_groups  (** Broadcast. *)
+  | Random_groups of int
+      (** A uniformly random non-empty subset of at most [k] groups. *)
+  | Fixed_groups of Net.Topology.gid list
+
+val generate :
+  rng:Des.Rng.t ->
+  topology:Net.Topology.t ->
+  n:int ->
+  dest:dest_kind ->
+  arrival:[ `Every of Des.Sim_time.t | `Poisson of Des.Sim_time.t ] ->
+  ?start:Des.Sim_time.t ->
+  ?origins:Net.Topology.pid list ->
+  unit ->
+  t
+(** [n] casts from random origins (drawn from [origins], default: all
+    processes), with either fixed spacing or exponentially distributed
+    gaps of the given mean, starting at [start] (default 1ms). *)
+
+val span : t -> Des.Sim_time.t
+(** Instant of the last cast ({!Des.Sim_time.zero} for the empty
+    workload). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** The modified Lamport clocks of Section 2.3.
+
+    The paper measures the cost of an algorithm as its {e latency degree}:
+    the number of {e inter-group} message delays on the longest causal path
+    from the cast of a message to its last delivery. This is captured by a
+    variant of Lamport's logical clocks in which only inter-group sends tick:
+
+    - a local event keeps the clock unchanged;
+    - a send to a process in the {e same} group carries the clock value
+      unchanged;
+    - a send to a process in a {e different} group carries the clock value
+      {e plus one} — but the sender's own clock does not advance (only
+      receives move a clock forward, so a fan-out of many sends counts as
+      one causal hop);
+    - receiving a message advances the clock to
+      [max local (carried value)].
+
+    With these rules, for a message [m] cast with clock value [c] and
+    delivered at some process with clock value [c'], the difference
+    [c' - c] is the number of inter-group hops on the longest causal chain
+    between the two events, and the latency degree of [m] in the run is the
+    maximum of that difference over all processes that deliver [m]. *)
+
+type t = int
+(** A clock value. Clock values start at 0 and never decrease. *)
+
+val initial : t
+(** The initial clock value of every process (0). *)
+
+val on_local : t -> t
+(** Clock value after a local event (unchanged; rule 1). *)
+
+val on_send : same_group:bool -> t -> t
+(** The clock value carried by a send event (rule 2). The sender's stored
+    clock is left unchanged by the caller. *)
+
+val on_receive : t -> carried:t -> t
+(** Clock value after receiving a message that carried [carried] (rule 3). *)
+
+val latency_degree : cast:t -> deliveries:t list -> int option
+(** [latency_degree ~cast ~deliveries] is
+    [Some (max deliveries - cast)], or [None] when [deliveries] is empty
+    (the message was never delivered). *)

@@ -1,0 +1,1 @@
+lib/net/latency.ml: Array Des Rng Sim_time

@@ -1,0 +1,1 @@
+lib/net/latency.mli: Des Topology

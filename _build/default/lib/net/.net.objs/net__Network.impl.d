@@ -1,0 +1,1 @@
+lib/net/network.ml: Des Hashtbl Int Latency List Rng Scheduler Sim_time Topology

@@ -1,0 +1,53 @@
+open Des
+
+type t =
+  | Uniform of {
+      intra : Sim_time.t;
+      inter : Sim_time.t;
+      intra_jitter : Sim_time.t;
+      inter_jitter : Sim_time.t;
+    }
+  | Matrix of {
+      intra : Sim_time.t;
+      inter : Sim_time.t array array;
+      jitter : Sim_time.t;
+    }
+
+let uniform ?(intra_jitter = Sim_time.zero) ?(inter_jitter = Sim_time.zero)
+    ~intra ~inter () =
+  Uniform { intra; inter; intra_jitter; inter_jitter }
+
+let matrix ?(jitter = Sim_time.zero) ~intra ~inter () =
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length inter then
+        invalid_arg "Latency.matrix: non-square matrix")
+    inter;
+  Matrix { intra; inter; jitter }
+
+let wan_default =
+  uniform
+    ~intra:(Sim_time.of_us 1_000) ~intra_jitter:(Sim_time.of_us 200)
+    ~inter:(Sim_time.of_us 50_000) ~inter_jitter:(Sim_time.of_us 5_000)
+    ()
+
+let lan_only = uniform ~intra:(Sim_time.of_ms 1) ~inter:(Sim_time.of_ms 1) ()
+
+let base t ~src_group ~dst_group =
+  match t with
+  | Uniform { intra; inter; _ } ->
+    if src_group = dst_group then intra else inter
+  | Matrix { intra; inter; _ } ->
+    if src_group = dst_group then intra else inter.(src_group).(dst_group)
+
+let jitter_of t ~same_group =
+  match t with
+  | Uniform { intra_jitter; inter_jitter; _ } ->
+    if same_group then intra_jitter else inter_jitter
+  | Matrix { jitter; _ } -> jitter
+
+let sample t rng ~src_group ~dst_group =
+  let b = base t ~src_group ~dst_group in
+  let j = jitter_of t ~same_group:(src_group = dst_group) in
+  if Sim_time.equal j Sim_time.zero then b
+  else Sim_time.add_us b (Rng.int rng (Sim_time.to_us j))

@@ -1,0 +1,49 @@
+(** Link latency models.
+
+    The defining feature of the paper's WAN model is that intra-group
+    communication is orders of magnitude cheaper than inter-group
+    communication. A latency model maps a (source group, destination group)
+    pair to a message delay, optionally with bounded random jitter. Jitter
+    keeps message interleavings realistic (and lets property tests explore
+    schedules) without ever reordering the virtual clock itself. *)
+
+type t
+
+val uniform :
+  ?intra_jitter:Des.Sim_time.t ->
+  ?inter_jitter:Des.Sim_time.t ->
+  intra:Des.Sim_time.t ->
+  inter:Des.Sim_time.t ->
+  unit ->
+  t
+(** [uniform ~intra ~inter ()] delays every intra-group message by [intra]
+    and every inter-group message by [inter], plus a uniform jitter in
+    [\[0, jitter)] when given. *)
+
+val matrix :
+  ?jitter:Des.Sim_time.t ->
+  intra:Des.Sim_time.t ->
+  inter:Des.Sim_time.t array array ->
+  unit ->
+  t
+(** [matrix ~intra ~inter ()] uses [inter.(ga).(gb)] as the base delay from
+    group [ga] to group [gb] (asymmetric links allowed) and [intra] inside a
+    group. The matrix must be square and cover every group of the topology
+    it is used with. *)
+
+val wan_default : t
+(** 1ms intra-group (0.2ms jitter), 50ms inter-group (5ms jitter) — the
+    "groups of processes inter-connected through high latency links" setting
+    of the paper's introduction. *)
+
+val lan_only : t
+(** Degenerate single-site model (1ms everywhere); useful in unit tests. *)
+
+val sample :
+  t -> Des.Rng.t -> src_group:Topology.gid -> dst_group:Topology.gid ->
+  Des.Sim_time.t
+(** Draws a delay for one message. *)
+
+val base :
+  t -> src_group:Topology.gid -> dst_group:Topology.gid -> Des.Sim_time.t
+(** The jitter-free delay between the two groups; used by analytic checks. *)

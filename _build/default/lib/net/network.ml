@@ -1,0 +1,164 @@
+open Des
+
+type 'w inflight = {
+  src : Topology.pid;
+  dst : Topology.pid;
+  payload : 'w;
+}
+
+type 'w t = {
+  sched : Scheduler.t;
+  topology : Topology.t;
+  latency : Latency.t;
+  rng : Rng.t;
+  deliver : src:Topology.pid -> dst:Topology.pid -> 'w -> unit;
+  inflight : (Scheduler.handle, 'w inflight) Hashtbl.t;
+  holds : (Topology.gid * Topology.gid, Sim_time.t) Hashtbl.t;
+  mutable send_filter : (src:Topology.pid -> dst:Topology.pid -> bool) option;
+  mutable taps : (src:Topology.pid -> dst:Topology.pid -> 'w -> unit) list;
+  mutable sent_total : int;
+  mutable sent_inter : int;
+  mutable sent_intra : int;
+}
+
+let create ~sched ~topology ~latency ~rng ~deliver =
+  {
+    sched;
+    topology;
+    latency;
+    rng;
+    deliver;
+    inflight = Hashtbl.create 256;
+    holds = Hashtbl.create 8;
+    send_filter = None;
+    taps = [];
+    sent_total = 0;
+    sent_inter = 0;
+    sent_intra = 0;
+  }
+
+let hold_floor t ~src_group ~dst_group =
+  match Hashtbl.find_opt t.holds (src_group, dst_group) with
+  | None -> Sim_time.zero
+  | Some u -> u
+
+let schedule_delivery t ~src ~dst ~arrival payload =
+  let handle = ref (-1) in
+  let fire () =
+    Hashtbl.remove t.inflight !handle;
+    t.deliver ~src ~dst payload
+  in
+  handle := Scheduler.at t.sched arrival fire;
+  Hashtbl.replace t.inflight !handle { src; dst; payload }
+
+let send t ~src ~dst payload =
+  let admitted =
+    match t.send_filter with
+    | None -> true
+    | Some f -> f ~src ~dst
+  in
+  if admitted then begin
+    let src_group = Topology.group_of t.topology src in
+    let dst_group = Topology.group_of t.topology dst in
+    t.sent_total <- t.sent_total + 1;
+    if src_group = dst_group then t.sent_intra <- t.sent_intra + 1
+    else t.sent_inter <- t.sent_inter + 1;
+    List.iter (fun tap -> tap ~src ~dst payload) t.taps;
+    let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
+    let arrival = Sim_time.add (Scheduler.now t.sched) delay in
+    let arrival =
+      Sim_time.max arrival (hold_floor t ~src_group ~dst_group)
+    in
+    schedule_delivery t ~src ~dst ~arrival payload
+  end
+
+let hold t ~src_group ~dst_group ~until =
+  let prev = hold_floor t ~src_group ~dst_group in
+  Hashtbl.replace t.holds (src_group, dst_group) (Sim_time.max prev until);
+  (* Push back messages already in flight on that link. *)
+  let to_reschedule =
+    Hashtbl.fold
+      (fun h m acc ->
+        if
+          Topology.group_of t.topology m.src = src_group
+          && Topology.group_of t.topology m.dst = dst_group
+        then (h, m) :: acc
+        else acc)
+      t.inflight []
+  in
+  (* Deterministic order: sort by handle. *)
+  let to_reschedule =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) to_reschedule
+  in
+  List.iter
+    (fun (h, m) ->
+      Scheduler.cancel t.sched h;
+      Hashtbl.remove t.inflight h;
+      schedule_delivery t ~src:m.src ~dst:m.dst ~arrival:until m.payload)
+    to_reschedule
+
+let partition t ~src_group ~dst_group =
+  hold t ~src_group ~dst_group ~until:Sim_time.infinity
+
+let heal t ~src_group ~dst_group =
+  if Hashtbl.mem t.holds (src_group, dst_group) then begin
+    Hashtbl.remove t.holds (src_group, dst_group);
+    (* Re-schedule everything that was parked on this link with a fresh
+       latency sample from the healing instant. *)
+    let parked =
+      Hashtbl.fold
+        (fun h m acc ->
+          if
+            Topology.group_of t.topology m.src = src_group
+            && Topology.group_of t.topology m.dst = dst_group
+          then (h, m) :: acc
+          else acc)
+        t.inflight []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    List.iter
+      (fun (h, m) ->
+        Scheduler.cancel t.sched h;
+        Hashtbl.remove t.inflight h;
+        let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
+        let arrival = Sim_time.add (Scheduler.now t.sched) delay in
+        schedule_delivery t ~src:m.src ~dst:m.dst ~arrival m.payload)
+      parked
+  end
+
+let partition_groups t side_a side_b =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          partition t ~src_group:a ~dst_group:b;
+          partition t ~src_group:b ~dst_group:a)
+        side_b)
+    side_a
+
+let heal_all t =
+  let links = Hashtbl.fold (fun link _ acc -> link :: acc) t.holds [] in
+  List.iter
+    (fun (src_group, dst_group) -> heal t ~src_group ~dst_group)
+    (List.sort compare links)
+
+let drop_inflight t pred =
+  let victims =
+    Hashtbl.fold
+      (fun h m acc -> if pred ~src:m.src ~dst:m.dst then h :: acc else acc)
+      t.inflight []
+  in
+  List.iter
+    (fun h ->
+      Scheduler.cancel t.sched h;
+      Hashtbl.remove t.inflight h)
+    victims;
+  List.length victims
+
+let set_send_filter t f = t.send_filter <- f
+let on_send t tap = t.taps <- t.taps @ [ tap ]
+let sent_total t = t.sent_total
+let sent_inter_group t = t.sent_inter
+let sent_intra_group t = t.sent_intra
+let in_flight t = Hashtbl.length t.inflight
+let topology t = t.topology

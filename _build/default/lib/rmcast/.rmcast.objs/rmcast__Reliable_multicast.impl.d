@@ -1,0 +1,1 @@
+lib/rmcast/reliable_multicast.ml: Des Fmt Hashtbl Int List Msg_id Net Runtime Services Topology

@@ -1,0 +1,1 @@
+lib/rmcast/reliable_multicast.mli: Des Format Net Runtime

@@ -1,0 +1,134 @@
+open Net
+open Runtime
+
+type 'p msg =
+  | Data of {
+      id : Msg_id.t;
+      origin : Topology.pid;
+      dest : Topology.pid list;
+      payload : 'p;
+    }
+
+let tag (Data _) = "rm.data"
+let pp_msg ppf (Data { id; _ }) = Fmt.pf ppf "rm.data(%a)" Msg_id.pp id
+
+type mode = Eager_nonuniform | Ack_uniform
+
+type 'p known = {
+  origin : Topology.pid;
+  dest : Topology.pid list;
+  payload : 'p;
+  copies : (Topology.pid, unit) Hashtbl.t; (* distinct forwarders seen *)
+  mutable relayed : bool;
+  mutable delivered : bool;
+}
+
+type ('p, 'w) t = {
+  services : 'w Services.t;
+  wrap : 'p msg -> 'w;
+  mode : mode;
+  known : 'p known Msg_id.Tbl.t;
+  on_deliver :
+    id:Msg_id.t ->
+    origin:Topology.pid ->
+    dest:Topology.pid list ->
+    'p ->
+    unit;
+}
+
+let majority dest = (List.length dest / 2) + 1
+
+let rec relay t id k =
+  if not k.relayed then begin
+    k.relayed <- true;
+    let self = t.services.Services.self in
+    (* Relaying vouches for the message: the relayer counts as one of the
+       copy holders the uniform mode's majority test looks for. *)
+    Hashtbl.replace k.copies self ();
+    Services.send_all t.services
+      (List.filter (fun q -> q <> self) k.dest)
+      (t.wrap
+         (Data { id; origin = k.origin; dest = k.dest; payload = k.payload }));
+    maybe_deliver t id k
+  end
+
+and maybe_deliver t id k =
+  if (not k.delivered) && List.mem t.services.Services.self k.dest then begin
+    let ready =
+      match t.mode with
+      | Eager_nonuniform -> true
+      | Ack_uniform -> Hashtbl.length k.copies >= majority k.dest
+    in
+    if ready then begin
+      k.delivered <- true;
+      t.on_deliver ~id ~origin:k.origin ~dest:k.dest k.payload
+    end
+  end
+
+let learn t ~id ~origin ~dest ~payload ~from =
+  let k =
+    match Msg_id.Tbl.find_opt t.known id with
+    | Some k -> k
+    | None ->
+      let k =
+        {
+          origin;
+          dest;
+          payload;
+          copies = Hashtbl.create 4;
+          relayed = false;
+          delivered = false;
+        }
+      in
+      Msg_id.Tbl.replace t.known id k;
+      k
+  in
+  Hashtbl.replace k.copies from ();
+  (match t.mode with
+  | Ack_uniform ->
+    (* Uniformity needs everyone to echo before anyone is sure. *)
+    relay t id k
+  | Eager_nonuniform ->
+    (* Origin already down when we learn the message: relay immediately,
+       the crash-detection callback has already fired (or soon will, with
+       this message not yet known). *)
+    if not (t.services.Services.alive k.origin) then relay t id k);
+  maybe_deliver t id k;
+  k
+
+let rmcast t ~id ~dest payload =
+  let dest = List.sort_uniq Int.compare dest in
+  let origin = t.services.Services.self in
+  let k = learn t ~id ~origin ~dest ~payload ~from:origin in
+  (* The origin's initial fan-out counts as its relay; it learns its own
+     message directly, so no self-send. *)
+  k.relayed <- true;
+  Services.send_all t.services
+    (List.filter (fun q -> q <> origin) dest)
+    (t.wrap (Data { id; origin; dest; payload }))
+
+let handle t ~src:from m =
+  match m with
+  | Data { id; origin; dest; payload } ->
+    ignore (learn t ~id ~origin ~dest ~payload ~from)
+
+let delivered t id =
+  match Msg_id.Tbl.find_opt t.known id with
+  | Some k -> k.delivered
+  | None -> false
+
+let create ~services ~wrap ?(mode = Eager_nonuniform)
+    ?(oracle_delay = Des.Sim_time.of_ms 50) ~on_deliver () =
+  let t =
+    { services; wrap; mode; known = Msg_id.Tbl.create 64; on_deliver }
+  in
+  (match mode with
+  | Eager_nonuniform ->
+    (* Crash-relay rule: when the origin of a delivered message is reported
+       crashed, re-forward once so every correct addressee gets a copy. *)
+    services.Services.on_crash_detected ~delay:oracle_delay (fun dead ->
+        Msg_id.Tbl.iter
+          (fun id k -> if k.origin = dead && k.delivered then relay t id k)
+          t.known)
+  | Ack_uniform -> ());
+  t

@@ -1,0 +1,68 @@
+(** Reliable multicast (Section 2.2).
+
+    [R-MCast m] / [R-Deliver m] with per-message destination sets,
+    satisfying uniform integrity (deliver at most once, only addressees,
+    only if cast), validity (a correct caster's message is delivered by all
+    correct addressees) and agreement.
+
+    Two variants:
+
+    - {!Eager_nonuniform} — the paper's default primitive (its multicast
+      algorithm deliberately uses a {e non-uniform} reliable multicast,
+      Section 4.1). Delivery happens on first receipt — latency degree 1,
+      [|dest| - 1] messages in the failure-free case, exactly the
+      oracle-based cost Figure 1 assumes for the primitive of Frolund &
+      Pedone [6]. Agreement for correct processes is ensured by a
+      crash-triggered relay: when the failure oracle reports the origin
+      crashed, every process that delivered re-forwards once.
+
+    - {!Ack_uniform} — a uniform variant (used by the Fritzke et al. [5]
+      baseline, which relies on uniform reliable multicast): every receiver
+      relays on first receipt and delivers only once copies from a majority
+      of the destination set have arrived, so a delivery by {e any} process
+      (even one about to crash) implies every correct addressee eventually
+      delivers. Costs one extra message delay and O(|dest|²) messages.
+
+    The caster need not belong to the destination set; it then sends but
+    never delivers. *)
+
+type 'p msg
+
+val tag : 'p msg -> string
+val pp_msg : Format.formatter -> 'p msg -> unit
+
+type mode = Eager_nonuniform | Ack_uniform
+
+type ('p, 'w) t
+
+val create :
+  services:'w Runtime.Services.t ->
+  wrap:('p msg -> 'w) ->
+  ?mode:mode ->
+  ?oracle_delay:Des.Sim_time.t ->
+  on_deliver:
+    (id:Runtime.Msg_id.t ->
+    origin:Net.Topology.pid ->
+    dest:Net.Topology.pid list ->
+    'p ->
+    unit) ->
+  unit ->
+  ('p, 'w) t
+(** [create ~services ~wrap ~on_deliver ()] is an endpoint. [mode] defaults
+    to {!Eager_nonuniform}; [oracle_delay] (default 50ms) is the detection
+    delay of the crash-relay rule. [on_deliver] fires exactly once per
+    R-Delivered message. *)
+
+val rmcast :
+  ('p, 'w) t ->
+  id:Runtime.Msg_id.t ->
+  dest:Net.Topology.pid list ->
+  'p ->
+  unit
+(** Casts a message to [dest] (duplicates ignored). The id must be globally
+    unique; {!Runtime.Msg_id} ids qualify. *)
+
+val handle : ('p, 'w) t -> src:Net.Topology.pid -> 'p msg -> unit
+(** Feed an incoming reliable-multicast wire message. *)
+
+val delivered : ('p, 'w) t -> Runtime.Msg_id.t -> bool

@@ -1,0 +1,103 @@
+open Net
+
+type ('state, 'cmd) spec = {
+  initial : unit -> 'state;
+  apply : 'state -> 'cmd -> 'state;
+  encode : 'cmd -> string;
+  decode : string -> 'cmd;
+  placement : 'cmd -> Topology.gid list;
+}
+
+module Make (P : Amcast.Protocol.S) = struct
+  module Runner = Harness.Runner.Make (P)
+
+  type ('state, 'cmd) replica = {
+    mutable state : 'state;
+    mutable log : 'cmd list; (* newest first *)
+  }
+
+  type ('state, 'cmd) t = {
+    spec : ('state, 'cmd) spec;
+    deployment : Runner.deployment;
+    replicas : ('state, 'cmd) replica array;
+    topology : Topology.t;
+  }
+
+  (* Replicas apply commands as the protocol delivers them. The runner
+     hands deliveries to this hook in per-process delivery order, so the
+     replica's log *is* the delivery sequence. *)
+  let deploy ?seed ?latency ?config ~spec topology =
+    let n = Topology.n_processes topology in
+    let replicas =
+      Array.init n (fun _ -> { state = spec.initial (); log = [] })
+    in
+    let deployment = Runner.deploy ?seed ?latency ?config topology in
+    (* Applying on delivery: the runner already wraps deliver for metrics;
+       we replay from the run result instead of hooking, to keep the
+       runner's interface small — see [absorb]. *)
+    { spec; deployment; replicas; topology }
+
+  let submit t ~at ~origin cmd =
+    Runner.cast_at t.deployment ~at ~origin
+      ~dest:(t.spec.placement cmd)
+      ~payload:(t.spec.encode cmd)
+      ()
+
+  (* Apply any deliveries the replicas have not seen yet, in the global
+     delivery order of the run result (which preserves each process's
+     local order). *)
+  let absorb t (r : Harness.Run_result.t) =
+    let applied =
+      Array.map (fun replica -> List.length replica.log) t.replicas
+    in
+    let seen = Array.make (Array.length t.replicas) 0 in
+    List.iter
+      (fun (d : Harness.Run_result.delivery_event) ->
+        let i = seen.(d.pid) in
+        seen.(d.pid) <- i + 1;
+        if i >= applied.(d.pid) then begin
+          let replica = t.replicas.(d.pid) in
+          let cmd = t.spec.decode d.msg.Amcast.Msg.payload in
+          replica.state <- t.spec.apply replica.state cmd;
+          replica.log <- cmd :: replica.log
+        end)
+      r.deliveries
+
+  let run ?until t =
+    let r = Runner.run_deployment ?until t.deployment in
+    absorb t r;
+    r
+
+  let state_of t pid = t.replicas.(pid).state
+  let log_of t pid = List.rev t.replicas.(pid).log
+
+  let check_consistency t =
+    let violations = ref [] in
+    List.iter
+      (fun g ->
+        match Topology.members t.topology g with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+          let ref_log = log_of t first in
+          List.iter
+            (fun pid ->
+              let log = log_of t pid in
+              if
+                not
+                  (List.length log = List.length ref_log
+                  && List.for_all2
+                       (fun a b -> t.spec.encode a = t.spec.encode b)
+                       log ref_log)
+              then
+                violations :=
+                  Fmt.str
+                    "group %d: replica p%d applied a different command log \
+                     than p%d (%d vs %d commands)"
+                    g pid first (List.length log) (List.length ref_log)
+                  :: !violations)
+            rest)
+      (Topology.all_groups t.topology);
+    !violations
+
+  let engine t = Runner.engine t.deployment
+end

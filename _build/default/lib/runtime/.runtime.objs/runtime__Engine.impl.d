@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Des Latency Lclock List Net Network Rng Scheduler Services Sim_time Topology Trace

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Des Lclock Net Services Trace

@@ -1,0 +1,1 @@
+lib/runtime/msg_id.ml: Fmt Hashtbl Int Map Net Set

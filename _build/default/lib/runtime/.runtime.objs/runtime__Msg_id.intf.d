@@ -1,0 +1,1 @@
+lib/runtime/msg_id.mli: Format Hashtbl Map Net Set

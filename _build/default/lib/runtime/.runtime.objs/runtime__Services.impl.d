@@ -1,0 +1,1 @@
+lib/runtime/services.ml: Des Lclock List Msg_id Net

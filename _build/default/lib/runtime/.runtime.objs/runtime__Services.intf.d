@@ -1,0 +1,1 @@
+lib/runtime/services.mli: Des Lclock Msg_id Net

@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Des Fmt Lclock List Msg_id Net

@@ -1,0 +1,1 @@
+lib/runtime/trace.mli: Des Format Lclock Msg_id Net

@@ -1,0 +1,196 @@
+open Des
+open Net
+
+type 'w node = { on_receive : src:Topology.pid -> 'w -> unit }
+
+type drop_spec =
+  | Keep_inflight
+  | Lose_all_inflight
+  | Lose_to of Topology.pid list
+  | Lose_each_with_probability of float
+
+type crash_subscription = {
+  delay : Sim_time.t;
+  callback : Topology.pid -> unit;
+}
+
+type 'w envelope = { data : 'w; lc : Lclock.t; env : int }
+
+type 'w t = {
+  sched : Scheduler.t;
+  topology : Topology.t;
+  trace : Trace.t;
+  tag : 'w -> string;
+  mutable network : 'w envelope Network.t option; (* set in create *)
+  mutable next_env : int;
+  nodes : 'w node option array;
+  node_rngs : Rng.t array;
+  lcs : Lclock.t array;
+  crashed : bool array;
+  fault_rng : Rng.t;
+  mutable crash_subs : crash_subscription list;
+}
+
+let net t =
+  match t.network with
+  | Some n -> n
+  | None -> assert false
+
+let handle_delivery t ~src ~dst { data; lc = carried; env } =
+  if not t.crashed.(dst) then begin
+    t.lcs.(dst) <- Lclock.on_receive t.lcs.(dst) ~carried;
+    Trace.record t.trace
+      (Receive
+         { time = Scheduler.now t.sched; src; dst; lc = t.lcs.(dst); env });
+    match t.nodes.(dst) with
+    | None -> ()
+    | Some node -> node.on_receive ~src data
+  end
+
+let create ?(seed = 0) ?(latency = Latency.wan_default)
+    ?(record_trace = true) ~tag topology =
+  let sched = Scheduler.create () in
+  let root = Rng.create seed in
+  let n = Topology.n_processes topology in
+  let node_rngs = Array.init n (fun _ -> Rng.split root) in
+  let net_rng = Rng.split root in
+  let fault_rng = Rng.split root in
+  let t =
+    {
+      sched;
+      topology;
+      trace = Trace.create ~enabled:record_trace ();
+      tag;
+      network = None;
+      nodes = Array.make n None;
+      next_env = 0;
+      node_rngs;
+      lcs = Array.make n Lclock.initial;
+      crashed = Array.make n false;
+      fault_rng;
+      crash_subs = [];
+    }
+  in
+  let network =
+    Network.create ~sched ~topology ~latency ~rng:net_rng
+      ~deliver:(fun ~src ~dst payload -> handle_delivery t ~src ~dst payload)
+  in
+  t.network <- Some network;
+  t
+
+let services t pid =
+  let send ~dst payload =
+    if not t.crashed.(pid) then begin
+      let same_group = Topology.same_group t.topology pid dst in
+      (* The carried value is LC+1 across groups (rule 2), but the sender's
+         own clock does not advance: only receives move a clock forward.
+         This makes a fan-out to d remote processes one causal hop, not d —
+         the reading under which the paper's R-MCast has latency degree 1
+         and Theorem 5.1's concurrent bundle exchange costs a single
+         inter-group delay. *)
+      let lc = Lclock.on_send ~same_group t.lcs.(pid) in
+      let env = t.next_env in
+      t.next_env <- env + 1;
+      Trace.record t.trace
+        (Send
+           {
+             time = Scheduler.now t.sched;
+             src = pid;
+             dst;
+             inter_group = not same_group;
+             lc;
+             tag = t.tag payload;
+             env;
+           });
+      Network.send (net t) ~src:pid ~dst { data = payload; lc; env }
+    end
+  in
+  let set_timer ~after f =
+    Scheduler.after t.sched after (fun () ->
+        if not t.crashed.(pid) then f ())
+  in
+  let record_cast id =
+    t.lcs.(pid) <- Lclock.on_local t.lcs.(pid);
+    Trace.record t.trace
+      (Cast { time = Scheduler.now t.sched; pid; id; lc = t.lcs.(pid) })
+  in
+  let record_deliver id =
+    t.lcs.(pid) <- Lclock.on_local t.lcs.(pid);
+    Trace.record t.trace
+      (Deliver { time = Scheduler.now t.sched; pid; id; lc = t.lcs.(pid) })
+  in
+  let note text =
+    Trace.record t.trace
+      (Note { time = Scheduler.now t.sched; pid; text })
+  in
+  let on_crash_detected ~delay callback =
+    t.crash_subs <- { delay; callback } :: t.crash_subs;
+    (* Already-crashed processes are reported too: find them via the flag
+       array (their crash entries are in the trace, but scanning flags is
+       enough since detection delay counts from now in that case). *)
+    Array.iteri
+      (fun q dead ->
+        if dead then
+          ignore (Scheduler.after t.sched delay (fun () -> callback q)))
+      t.crashed
+  in
+  {
+    Services.self = pid;
+    topology = t.topology;
+    rng = t.node_rngs.(pid);
+    send;
+    now = (fun () -> Scheduler.now t.sched);
+    set_timer;
+    cancel_timer = (fun h -> Scheduler.cancel t.sched h);
+    lc = (fun () -> t.lcs.(pid));
+    record_cast;
+    record_deliver;
+    note;
+    alive = (fun q -> not t.crashed.(q));
+    on_crash_detected;
+  }
+
+let spawn t pid make =
+  (match t.nodes.(pid) with
+  | Some _ -> invalid_arg "Engine.spawn: node already exists"
+  | None -> ());
+  let state, node = make (services t pid) in
+  t.nodes.(pid) <- Some node;
+  state
+
+let schedule_crash ?(drop = Keep_inflight) t ~at pid =
+  ignore
+    (Scheduler.at t.sched at (fun () ->
+         if not t.crashed.(pid) then begin
+           t.crashed.(pid) <- true;
+           Trace.record t.trace
+             (Crash { time = Scheduler.now t.sched; pid });
+           let dropped =
+             match drop with
+             | Keep_inflight -> 0
+             | Lose_all_inflight ->
+               Network.drop_inflight (net t) (fun ~src ~dst:_ -> src = pid)
+             | Lose_to victims ->
+               Network.drop_inflight (net t) (fun ~src ~dst ->
+                   src = pid && List.mem dst victims)
+             | Lose_each_with_probability p ->
+               Network.drop_inflight (net t) (fun ~src ~dst:_ ->
+                   src = pid && Rng.float t.fault_rng 1.0 < p)
+           in
+           ignore dropped;
+           List.iter
+             (fun { delay; callback } ->
+               ignore (Scheduler.after t.sched delay (fun () -> callback pid)))
+             t.crash_subs
+         end))
+
+let at t time f = ignore (Scheduler.at t.sched time f)
+let run ?until ?max_steps t = Scheduler.run ?until ?max_steps t.sched
+let now t = Scheduler.now t.sched
+let alive t pid = not t.crashed.(pid)
+let lc t pid = t.lcs.(pid)
+let trace t = t.trace
+let topology t = t.topology
+let network t = net t
+let scheduler t = t.sched
+let fault_rng t = t.fault_rng

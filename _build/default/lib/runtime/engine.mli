@@ -1,0 +1,77 @@
+(** The simulation engine: wires processes, network, clocks and faults.
+
+    An engine hosts one protocol deployment: every process runs a node with
+    the same wire type ['w]. The engine owns the scheduler, the network, the
+    per-process modified Lamport clocks, the trace and the crash schedule.
+
+    Determinism: a run is a pure function of (topology, latency model, seed,
+    spawned program, scheduled actions). Two engines created with the same
+    arguments and driven identically produce identical traces. *)
+
+type 'w node = { on_receive : src:Net.Topology.pid -> 'w -> unit }
+(** A process's reaction to an incoming wire message. *)
+
+(** What happens to messages a process had in flight when it crashes.
+    Quasi-reliable links only guarantee delivery between correct processes,
+    so a crashing process may lose any subset of its unreceived sends. *)
+type drop_spec =
+  | Keep_inflight  (** A "clean" crash: everything already sent arrives. *)
+  | Lose_all_inflight  (** Every unreceived message from the process is lost. *)
+  | Lose_to of Net.Topology.pid list
+      (** Unreceived messages to the listed processes are lost. *)
+  | Lose_each_with_probability of float
+      (** Each unreceived message is lost independently with probability
+          [p] (drawn from the engine's fault stream). *)
+
+type 'w t
+
+val create :
+  ?seed:int ->
+  ?latency:Net.Latency.t ->
+  ?record_trace:bool ->
+  tag:('w -> string) ->
+  Net.Topology.t ->
+  'w t
+(** [create ~tag topology] is a fresh engine. [tag] labels wire messages in
+    the trace (used for per-kind message statistics). Defaults: [seed] 0,
+    {!Net.Latency.wan_default}, trace recording on. *)
+
+val spawn : 'w t -> Net.Topology.pid -> ('w Services.t -> 'a * 'w node) -> 'a
+(** [spawn t p make] creates the node for process [p]: [make] receives [p]'s
+    capability record and returns the protocol state (handed back to the
+    caller) and the receive handler.
+    @raise Invalid_argument if [p] already has a node. *)
+
+val services : 'w t -> Net.Topology.pid -> 'w Services.t
+(** The capability record of an already-spawned process. *)
+
+val schedule_crash :
+  ?drop:drop_spec -> 'w t -> at:Des.Sim_time.t -> Net.Topology.pid -> unit
+(** Schedules a crash-stop failure: from the crash instant the process sends
+    nothing, receives nothing, and its timers are inert. [drop] (default
+    {!Keep_inflight}) selects the fate of its in-flight messages. *)
+
+val at : 'w t -> Des.Sim_time.t -> (unit -> unit) -> unit
+(** Schedules an external action (e.g. an A-XCast from the workload). *)
+
+val run : ?until:Des.Sim_time.t -> ?max_steps:int -> 'w t -> unit
+(** Runs the simulation; see {!Des.Scheduler.run}. With no [until], runs to
+    quiescence (empty event queue) — which every halting protocol reaches. *)
+
+val now : 'w t -> Des.Sim_time.t
+val alive : 'w t -> Net.Topology.pid -> bool
+val lc : 'w t -> Net.Topology.pid -> Lclock.t
+val trace : 'w t -> Trace.t
+val topology : 'w t -> Net.Topology.t
+type 'w envelope = { data : 'w; lc : Lclock.t; env : int }
+(** What actually travels on the network: the wire payload, the modified
+    Lamport value it carries, and a unique envelope id (used by the causal
+    trace analysis to match sends to receives). *)
+
+val network : 'w t -> 'w envelope Net.Network.t
+(** The underlying network; exposed for counters and adversarial controls
+    ({!Net.Network.hold}, {!Net.Network.partition}). *)
+
+val scheduler : 'w t -> Des.Scheduler.t
+val fault_rng : 'w t -> Des.Rng.t
+(** The engine's dedicated randomness stream for fault injection. *)

@@ -1,0 +1,28 @@
+type t = { origin : Net.Topology.pid; seq : int }
+
+let make ~origin ~seq = { origin; seq }
+
+let compare a b =
+  let c = Int.compare a.origin b.origin in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let equal a b = compare a b = 0
+let hash a = (a.origin * 1_000_003) + a.seq
+let pp ppf t = Fmt.pf ppf "m%d.%d" t.origin t.seq
+let to_string t = Fmt.str "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,24 @@
+type 'w t = {
+  self : Net.Topology.pid;
+  topology : Net.Topology.t;
+  rng : Des.Rng.t;
+  send : dst:Net.Topology.pid -> 'w -> unit;
+  now : unit -> Des.Sim_time.t;
+  set_timer : after:Des.Sim_time.t -> (unit -> unit) -> int;
+  cancel_timer : int -> unit;
+  lc : unit -> Lclock.t;
+  record_cast : Msg_id.t -> unit;
+  record_deliver : Msg_id.t -> unit;
+  note : string -> unit;
+  alive : Net.Topology.pid -> bool;
+  on_crash_detected :
+    delay:Des.Sim_time.t -> (Net.Topology.pid -> unit) -> unit;
+}
+
+let send_all t pids w = List.iter (fun dst -> t.send ~dst w) pids
+let send_group t g w = send_all t (Net.Topology.members t.topology g) w
+
+let send_others_in_group t w =
+  send_all t (Net.Topology.others_in_group t.topology t.self) w
+
+let my_group t = Net.Topology.group_of t.topology t.self

@@ -1,0 +1,54 @@
+(** The capability record handed to every protocol instance.
+
+    Protocols are written as event-driven state machines: they react to
+    received wire messages and to timers, and act on the world exclusively
+    through this record. This keeps protocol modules independent of the
+    engine's internals and lets them stack (e.g. atomic multicast over
+    consensus) by sharing one [Services.t] and one wire type.
+
+    All effects are deterministic given the engine's seed. *)
+
+type 'w t = {
+  self : Net.Topology.pid;  (** The process this instance runs on. *)
+  topology : Net.Topology.t;
+  rng : Des.Rng.t;
+      (** Private random stream of this process (split from the engine's
+          root seed). *)
+  send : dst:Net.Topology.pid -> 'w -> unit;
+      (** Asynchronous send. Applies the modified Lamport clock rule
+          (inter-group sends tick the clock), records the send in the trace
+          and hands the message to the network. Silently drops if the
+          sending process has crashed. *)
+  now : unit -> Des.Sim_time.t;
+  set_timer : after:Des.Sim_time.t -> (unit -> unit) -> int;
+      (** One-shot timer; the callback is skipped if the process has crashed
+          by the time it fires. Returns a handle for {!cancel_timer}. *)
+  cancel_timer : int -> unit;
+  lc : unit -> Lclock.t;  (** Current modified Lamport clock value. *)
+  record_cast : Msg_id.t -> unit;
+      (** Protocols call this at the A-XCast event of a message (a local
+          event: the clock does not tick). *)
+  record_deliver : Msg_id.t -> unit;
+      (** Protocols call this at the A-Deliver event of a message. *)
+  note : string -> unit;  (** Free-form trace annotation (debugging). *)
+  alive : Net.Topology.pid -> bool;
+      (** Ground-truth crash oracle. Only failure-detector implementations
+          should consult it (Section 2's algorithms assume oracle-based
+          consensus and reliable multicast, cf. Figure 1's cost model). *)
+  on_crash_detected : delay:Des.Sim_time.t -> (Net.Topology.pid -> unit) -> unit;
+      (** Subscribe to crash notifications delivered [delay] after the
+          crash instant — the idealised eventually-perfect failure
+          detector. *)
+}
+
+val send_all : 'w t -> Net.Topology.pid list -> 'w -> unit
+(** Send the same message to every listed process (including possibly
+    [self]; self-sends go through the network like any other). *)
+
+val send_group : 'w t -> Net.Topology.gid -> 'w -> unit
+(** Send to every member of a group. *)
+
+val send_others_in_group : 'w t -> 'w -> unit
+(** Send to every member of the caller's own group except itself. *)
+
+val my_group : 'w t -> Net.Topology.gid

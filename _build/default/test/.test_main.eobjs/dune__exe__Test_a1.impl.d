@@ -1,0 +1,1 @@
+test/test_a1.ml: Alcotest Amcast Des Harness Int Latency List Net Rng Runtime Sim_time Topology Util

@@ -1,0 +1,1 @@
+test/test_a2.ml: Alcotest Amcast Des Fmt Harness List Net Rng Runtime Sim_time Topology Util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Amcast Des Fmt Harness Int List Net Rmcast Rng Sim_time Topology Util

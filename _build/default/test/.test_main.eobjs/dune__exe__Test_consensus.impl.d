@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Consensus Des Engine Fd Fmt Fun Hashtbl List Net Network Option Runtime Scheduler Sim_time Topology Util

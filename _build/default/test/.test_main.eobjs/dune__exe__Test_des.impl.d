@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Des Event_queue Fun Int List Option Rng Scheduler Sim_time

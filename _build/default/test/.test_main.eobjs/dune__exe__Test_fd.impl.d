@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Des Engine Fd Fmt Fun Hashtbl List Net Runtime Sim_time Topology Util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Amcast Astring_contains Des Fmt Fun Harness Lclock List Net Option Rng Runtime Sim_time Topology Util

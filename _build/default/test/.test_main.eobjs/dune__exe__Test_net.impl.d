@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Des Latency List Net Network Rng Scheduler Sim_time Topology Util

@@ -1,0 +1,1 @@
+test/test_partitions.ml: Alcotest Amcast Des Engine Harness List Net Network Rng Runtime Scheduler Sim_time Topology Util

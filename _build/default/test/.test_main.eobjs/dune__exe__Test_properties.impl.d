@@ -1,0 +1,1 @@
+test/test_properties.ml: Amcast Consensus Des Engine Event_queue Fd Fmt Fun Harness Hashtbl Int Latency List Msg_id Net Option QCheck2 Reliable_multicast Rmcast Rng Runtime Sim_time Topology Util

@@ -1,0 +1,1 @@
+test/test_rmcast.ml: Alcotest Array Des Engine Fun Int List Msg_id Net Network Option Reliable_multicast Rmcast Runtime Sim_time Topology Util

@@ -1,0 +1,1 @@
+test/test_rsm.ml: Alcotest Amcast Des Fmt Harness Hashtbl Int List Net QCheck2 Rng Rsm Runtime Sim_time String Topology Util

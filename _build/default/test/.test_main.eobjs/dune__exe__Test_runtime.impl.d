@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Des Engine List Msg_id Net Runtime Services Sim_time Topology Trace Util

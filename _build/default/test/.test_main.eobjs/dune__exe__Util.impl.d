@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Des Harness Net QCheck2 QCheck_alcotest Runtime

@@ -1,0 +1,315 @@
+open Des
+open Net
+
+let ms_ = Sim_time.of_ms
+module R = Harness.Runner.Make (Amcast.A1)
+
+let run ?seed ?config ?faults ?until topology workload =
+  R.run ?seed ~latency:Util.crisp_latency ?config ?faults ?until topology
+    workload
+
+let test_single_group_self () =
+  (* Multicast to the caster's own group only: latency degree 0. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let w = Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0 ] () in
+  let r = run topo w in
+  Util.check_no_violations "safety" (Harness.Checker.check_all ~expect_genuine:true r);
+  Alcotest.(check int) "deliveries" 2 (List.length r.deliveries);
+  Alcotest.(check (option int)) "latency degree 0" (Some 0)
+    (Harness.Metrics.max_latency_degree r)
+
+let test_single_remote_group () =
+  (* Multicast to one remote group: latency degree 1. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let w = Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 1 ] () in
+  let r = run topo w in
+  Util.check_no_violations "safety" (Harness.Checker.check_all ~expect_genuine:true r);
+  Alcotest.(check int) "only g1 delivers" 2 (List.length r.deliveries);
+  Alcotest.(check (option int)) "latency degree 1" (Some 1)
+    (Harness.Metrics.max_latency_degree r)
+
+let test_two_groups_degree_two () =
+  (* Theorem 4.1: a message multicast to two groups has ∆ = 2. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let w =
+    Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] ()
+  in
+  let r = run topo w in
+  Util.check_no_violations "safety" (Harness.Checker.check_all ~expect_genuine:true r);
+  Alcotest.(check int) "all four deliver" 4 (List.length r.deliveries);
+  Alcotest.(check (option int)) "latency degree 2" (Some 2)
+    (Harness.Metrics.max_latency_degree r)
+
+let test_genuineness_bystander_groups () =
+  (* Four groups, message to two of them: the other groups' processes must
+     neither send nor receive anything. *)
+  let topo = Topology.symmetric ~groups:4 ~per_group:2 in
+  let w =
+    Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 2 ] ()
+  in
+  let r = run topo w in
+  Util.check_no_violations "genuine" (Harness.Checker.genuineness r);
+  Util.check_no_violations "safety" (Harness.Checker.check_all r)
+
+let test_concurrent_multicasts_order () =
+  (* Two concurrent messages to overlapping group sets must be delivered in
+     the same relative order everywhere. *)
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let w =
+    Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] ()
+    @ Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:2 ~dest:[ 0; 1; 2 ] ()
+    @ Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:4 ~dest:[ 1; 2 ] ()
+  in
+  let r = run topo w in
+  Util.check_no_violations "safety" (Harness.Checker.check_all ~expect_genuine:true r)
+
+let test_stream_of_multicasts () =
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let rng = Rng.create 17 in
+  let w =
+    Harness.Workload.generate ~rng ~topology:topo ~n:30
+      ~dest:(Harness.Workload.Random_groups 3)
+      ~arrival:(`Every (Sim_time.of_ms 20))
+      ()
+  in
+  let r = run topo w in
+  Util.check_no_violations "safety" (Harness.Checker.check_all r);
+  Alcotest.(check int) "all messages delivered somewhere" 30
+    (Harness.Metrics.delivered_count r)
+
+let test_crash_non_coordinator () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:3 in
+  let w =
+    Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] ()
+  in
+  let faults = [ Harness.Runner.crash ~at:(Sim_time.of_ms 2) 4 ] in
+  let r = run topo ~faults w in
+  Util.check_no_violations "safety" (Harness.Checker.check_all r)
+
+let test_crash_caster_loses_group () =
+  (* The caster crashes and its copies to one group are lost: the TS
+     message from the other group must propagate m (paper footnote 4).
+     Groups keep a correct majority so consensus stays live. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:3 in
+  let d =
+    R.deploy ~latency:Util.crisp_latency
+      ~faults:
+        [
+          Harness.Runner.crash
+            ~drop:(Runtime.Engine.Lose_to [ 3; 4; 5 ])
+            ~at:(Sim_time.of_us 1_100) 0;
+        ]
+      topo
+  in
+  ignore (R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] ());
+  let r = R.run_deployment d in
+  Util.check_no_violations "safety" (Harness.Checker.check_all r);
+  (* p0 crashed; survivors of both groups must deliver. *)
+  let pids =
+    List.map (fun (d : Harness.Run_result.delivery_event) -> d.pid) r.deliveries
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check (list int)) "survivors deliver" [ 1; 2; 3; 4; 5 ] pids
+
+let test_crash_whole_casting_attempt_lost () =
+  (* Everything the caster sent is lost: nobody learns m, nobody may
+     deliver it — and the run must still terminate quietly. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let d =
+    R.deploy ~latency:Util.crisp_latency
+      ~faults:
+        [
+          Harness.Runner.crash ~drop:Runtime.Engine.Lose_all_inflight
+            ~at:(Sim_time.of_us 1_050) 0;
+        ]
+      topo
+  in
+  ignore (R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] ());
+  let r = R.run_deployment d in
+  Alcotest.(check int) "no deliveries" 0 (List.length r.deliveries);
+  Util.check_no_violations "safety" (Harness.Checker.check_all r)
+
+let test_quiescent_after_deliveries () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let w =
+    Harness.Workload.single ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] ()
+  in
+  let r = run topo w in
+  Util.check_no_violations "quiescence" (Harness.Checker.quiescence r)
+
+let test_determinism () =
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let make () =
+    let rng = Rng.create 5 in
+    let w =
+      Harness.Workload.generate ~rng ~topology:topo ~n:10
+        ~dest:(Harness.Workload.Random_groups 2)
+        ~arrival:(`Poisson (Sim_time.of_ms 30))
+        ()
+    in
+    let r = R.run ~seed:11 topo w in
+    List.map
+      (fun (d : Harness.Run_result.delivery_event) ->
+        (d.pid, d.msg.Amcast.Msg.id, Sim_time.to_us d.at))
+      r.deliveries
+  in
+  Alcotest.(check bool) "bit-identical delivery schedule" true
+    (make () = make ())
+
+let test_wan_jitter_run () =
+  (* Same scenario under the jittery WAN model. *)
+  let topo = Topology.symmetric ~groups:3 ~per_group:3 in
+  let rng = Rng.create 23 in
+  let w =
+    Harness.Workload.generate ~rng ~topology:topo ~n:20
+      ~dest:(Harness.Workload.Random_groups 3)
+      ~arrival:(`Poisson (Sim_time.of_ms 15))
+      ()
+  in
+  let r = R.run ~seed:3 topo w in
+  Util.check_no_violations "safety" (Harness.Checker.check_all r)
+
+let test_member_learns_via_decision () =
+  (* p1 never receives the rmcast copy (dropped at the caster's crash);
+     it must learn m from its group's consensus decision (the pseudocode's
+     line 30 "add message" path) and still deliver consistently. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:3 in
+  let d =
+    R.deploy ~latency:Util.crisp_latency
+      ~faults:
+        [
+          Harness.Runner.crash
+            ~drop:(Runtime.Engine.Lose_to [ 1 ])
+            ~at:(Sim_time.of_us 1_050) 0;
+        ]
+      topo
+  in
+  ignore (R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] ());
+  let r = R.run_deployment d in
+  Util.check_no_violations "safety" (Harness.Checker.check_all r);
+  let pids =
+    List.map (fun (e : Harness.Run_result.delivery_event) -> e.pid)
+      r.deliveries
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check bool) "p1 delivered via the decision path" true
+    (List.mem 1 pids)
+
+let test_ts_outruns_data () =
+  (* Asymmetric latency matrix violating the triangle inequality: the
+     origin's direct link to group 2 is slower than the two-hop path
+     through group 1, so group 2 sees (TS, m) before the reliable-multicast
+     copy — the case where the TS message itself must introduce m
+     (pseudocode line 10's "receive(TS, m)" disjunct, and footnote 4). *)
+  let inter =
+    [|
+      [| ms_ 1; ms_ 10; ms_ 200 |];
+      [| ms_ 10; ms_ 1; ms_ 10 |];
+      [| ms_ 200; ms_ 10; ms_ 1 |];
+    |]
+  in
+  let latency = Latency.matrix ~intra:(ms_ 1) ~inter () in
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let d = R.deploy ~latency topo in
+  let id = R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1; 2 ] () in
+  let r = R.run_deployment d in
+  Util.check_no_violations "safety"
+    (Harness.Checker.check_all ~expect_genuine:true r);
+  Alcotest.(check int) "all six deliver" 6
+    (List.length (Harness.Run_result.deliveries_of r id));
+  (* In this run the protocol acts on the 2-hop TS path long before the
+     1-hop direct copy lands (10+10ms vs 200ms): group 2's own proposal is
+     then causally 2 hops deep, and the deliveries that wait for it sit at
+     3. The run is *faster* in wall clock and *deeper* in hops — the
+     latency degree of the algorithm (a minimum over runs) is still 2, as
+     the symmetric-latency test above measures. *)
+  Alcotest.(check (option int)) "degree 3 on this adversarial run" (Some 3)
+    (Harness.Metrics.latency_degree r id)
+
+let test_heartbeat_fd_mode () =
+  (* A1 with the message-based heartbeat detector instead of the oracle:
+     the coordinator of group 0 crashes losing its in-flight messages, and
+     the protocol still completes — now with zero ground-truth access on
+     the consensus path. Heartbeats never stop, so run under a horizon. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:3 in
+  let config =
+    {
+      Amcast.Protocol.Config.default with
+      fd_mode =
+        Amcast.Protocol.Config.Heartbeat
+          { period = Sim_time.of_ms 5; timeout = Sim_time.of_ms 30 };
+      consensus_timeout = Sim_time.of_ms 80;
+    }
+  in
+  let d =
+    R.deploy ~latency:Util.crisp_latency ~config
+      ~faults:
+        [
+          Harness.Runner.crash ~drop:Runtime.Engine.Lose_all_inflight
+            ~at:(Sim_time.of_ms 2) 0;
+        ]
+      topo
+  in
+  let id = R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:1 ~dest:[ 0; 1 ] () in
+  let r = R.run_deployment ~until:(Sim_time.of_sec 3.) d in
+  Util.check_no_violations "integrity" (Harness.Checker.uniform_integrity r);
+  Util.check_no_violations "prefix order"
+    (Harness.Checker.uniform_prefix_order r);
+  let survivors =
+    List.map (fun (e : Harness.Run_result.delivery_event) -> e.pid)
+      (Harness.Run_result.deliveries_of r id)
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check (list int)) "all survivors deliver" [ 1; 2; 3; 4; 5 ]
+    survivors
+
+let test_scale_six_groups () =
+  (* A larger deployment: 6 sites x 4 processes, 40 multicasts. *)
+  let topo = Topology.symmetric ~groups:6 ~per_group:4 in
+  let rng = Rng.create 71 in
+  let w =
+    Harness.Workload.generate ~rng ~topology:topo ~n:40
+      ~dest:(Harness.Workload.Random_groups 4)
+      ~arrival:(`Poisson (Sim_time.of_ms 12))
+      ()
+  in
+  let r = R.run ~seed:8 topo w in
+  Util.check_no_violations "safety"
+    (Harness.Checker.check_all ~expect_genuine:true r);
+  Alcotest.(check int) "all delivered" 40 (Harness.Metrics.delivered_count r)
+
+let suites =
+  [
+    ( "a1",
+      [
+        Alcotest.test_case "own group only: degree 0" `Quick
+          test_single_group_self;
+        Alcotest.test_case "one remote group: degree 1" `Quick
+          test_single_remote_group;
+        Alcotest.test_case "two groups: degree 2 (Thm 4.1)" `Quick
+          test_two_groups_degree_two;
+        Alcotest.test_case "genuineness wrt bystanders" `Quick
+          test_genuineness_bystander_groups;
+        Alcotest.test_case "concurrent overlapping multicasts" `Quick
+          test_concurrent_multicasts_order;
+        Alcotest.test_case "stream of 30 multicasts" `Quick
+          test_stream_of_multicasts;
+        Alcotest.test_case "crash: non-coordinator" `Quick
+          test_crash_non_coordinator;
+        Alcotest.test_case "crash: caster loses one group" `Quick
+          test_crash_caster_loses_group;
+        Alcotest.test_case "crash: cast entirely lost" `Quick
+          test_crash_whole_casting_attempt_lost;
+        Alcotest.test_case "quiescent after deliveries" `Quick
+          test_quiescent_after_deliveries;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "jittery WAN run" `Quick test_wan_jitter_run;
+        Alcotest.test_case "member learns via decision" `Quick
+          test_member_learns_via_decision;
+        Alcotest.test_case "TS outruns the data message" `Quick
+          test_ts_outruns_data;
+        Alcotest.test_case "heartbeat failure detector mode" `Quick
+          test_heartbeat_fd_mode;
+        Alcotest.test_case "scale: 6 groups x 4" `Slow test_scale_six_groups;
+      ] );
+  ]

@@ -1,0 +1,285 @@
+open Des
+open Net
+open Runtime
+
+(* Harness for a consensus-only deployment: every process of one group runs
+   a Paxos endpoint over string values. *)
+type deployment = {
+  engine : string Consensus.Paxos.msg Engine.t;
+  endpoints : (string, string Consensus.Paxos.msg) Consensus.Paxos.t array;
+  decisions : (Topology.pid * int * string) list ref; (* pid, instance, v *)
+}
+
+let deploy ?(seed = 0) ?(oracle_delay = Sim_time.of_ms 10)
+    ?(timeout = Sim_time.of_ms 200) topology =
+  let engine =
+    Engine.create ~seed ~latency:Util.crisp_latency ~tag:Consensus.Paxos.tag
+      topology
+  in
+  let decisions = ref [] in
+  let n = Topology.n_processes topology in
+  let endpoints = Array.make n None in
+  List.iter
+    (fun pid ->
+      let ep =
+        Engine.spawn engine pid (fun services ->
+            let detector = Fd.Detector.oracle ~delay:oracle_delay services in
+            let ep =
+              Consensus.Paxos.create ~services ~wrap:Fun.id
+                ~participants:
+                  (Topology.members topology (Topology.group_of topology pid))
+                ~detector ~timeout
+                ~on_decide:(fun ~instance v ->
+                  decisions := (pid, instance, v) :: !decisions)
+                ()
+            in
+            ( ep,
+              {
+                Engine.on_receive =
+                  (fun ~src m -> Consensus.Paxos.handle ep ~src m);
+              } ))
+      in
+      endpoints.(pid) <- Some ep)
+    (Topology.all_pids topology);
+  {
+    engine;
+    endpoints = Array.map Option.get endpoints;
+    decisions;
+  }
+
+let propose_at d ~at ~pid ~instance v =
+  Engine.at d.engine at (fun () ->
+      Consensus.Paxos.propose d.endpoints.(pid) ~instance v)
+
+let decisions_of d ~instance =
+  List.filter_map
+    (fun (pid, i, v) -> if i = instance then Some (pid, v) else None)
+    !(d.decisions)
+  |> List.sort compare
+
+let test_all_decide_same () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let d = deploy topo in
+  List.iter
+    (fun pid ->
+      propose_at d ~at:(Sim_time.of_ms 1) ~pid ~instance:1
+        (Fmt.str "v%d" pid))
+    [ 0; 1; 2 ];
+  Engine.run d.engine;
+  match decisions_of d ~instance:1 with
+  | [ (0, a); (1, b); (2, c) ] ->
+    Alcotest.(check string) "agreement 0-1" a b;
+    Alcotest.(check string) "agreement 1-2" b c;
+    Alcotest.(check bool) "integrity" true (List.mem a [ "v0"; "v1"; "v2" ])
+  | ds -> Alcotest.failf "expected 3 decisions, got %d" (List.length ds)
+
+let test_single_proposer () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:5 in
+  let d = deploy topo in
+  propose_at d ~at:(Sim_time.of_ms 1) ~pid:3 ~instance:1 "only";
+  Engine.run d.engine;
+  let ds = decisions_of d ~instance:1 in
+  Alcotest.(check int) "all five decide" 5 (List.length ds);
+  List.iter (fun (_, v) -> Alcotest.(check string) "value" "only" v) ds
+
+let test_multiple_instances () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let d = deploy topo in
+  for i = 1 to 10 do
+    List.iter
+      (fun pid ->
+        propose_at d ~at:(Sim_time.of_ms i) ~pid ~instance:i
+          (Fmt.str "i%d-p%d" i pid))
+      [ 0; 1; 2 ]
+  done;
+  Engine.run d.engine;
+  for i = 1 to 10 do
+    match decisions_of d ~instance:i with
+    | (_, v0) :: rest ->
+      List.iter (fun (_, v) -> Alcotest.(check string) "agree" v0 v) rest;
+      Alcotest.(check int) "three deciders" 2 (List.length rest)
+    | [] -> Alcotest.failf "instance %d undecided" i
+  done
+
+let test_coordinator_crash () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let d = deploy ~timeout:(Sim_time.of_ms 50) topo in
+  (* p0 (the ballot-0 coordinator) crashes before anyone proposes; p1 must
+     take over after detection. *)
+  Engine.schedule_crash d.engine ~at:(Sim_time.of_ms 1) 0;
+  propose_at d ~at:(Sim_time.of_ms 5) ~pid:1 ~instance:1 "survivor";
+  propose_at d ~at:(Sim_time.of_ms 5) ~pid:2 ~instance:1 "other";
+  Engine.run d.engine;
+  let ds = decisions_of d ~instance:1 in
+  Alcotest.(check int) "both survivors decide" 2 (List.length ds);
+  List.iter
+    (fun (_, v) ->
+      Alcotest.(check bool) "decided a proposed value" true
+        (List.mem v [ "survivor"; "other" ]))
+    ds
+
+let test_coordinator_crash_mid_instance () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:5 in
+  let d = deploy ~timeout:(Sim_time.of_ms 50) topo in
+  List.iter
+    (fun pid ->
+      propose_at d ~at:(Sim_time.of_ms 1) ~pid ~instance:1
+        (Fmt.str "v%d" pid))
+    [ 0; 1; 2; 3; 4 ];
+  (* Crash the coordinator while its Accepts may be in flight, losing them. *)
+  Engine.schedule_crash ~drop:Engine.Lose_all_inflight d.engine
+    ~at:(Sim_time.of_us 1_500) 0;
+  Engine.run d.engine;
+  let ds = decisions_of d ~instance:1 in
+  Alcotest.(check int) "four survivors decide" 4 (List.length ds);
+  match ds with
+  | (_, v0) :: rest ->
+    List.iter (fun (_, v) -> Alcotest.(check string) "agree" v0 v) rest
+  | [] -> Alcotest.fail "no decisions"
+
+let test_uniformity_decider_crashes () =
+  (* A process decides then crashes; survivors must reach the same
+     decision (uniform agreement). *)
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let d = deploy ~timeout:(Sim_time.of_ms 50) topo in
+  List.iter
+    (fun pid ->
+      propose_at d ~at:(Sim_time.of_ms 1) ~pid ~instance:1 (Fmt.str "v%d" pid))
+    [ 0; 1; 2 ];
+  (* Run until the first decision lands, then crash that decider. *)
+  Engine.run ~until:(Sim_time.of_ms 4) d.engine;
+  (match !(d.decisions) with
+  | (pid, 1, _) :: _ ->
+    Engine.schedule_crash ~drop:Engine.Lose_all_inflight d.engine
+      ~at:(Sim_time.add (Engine.now d.engine) (Sim_time.of_us 1)) pid
+  | _ -> () (* nobody decided yet: nothing to crash, the test still checks agreement *));
+  Engine.run d.engine;
+  let ds = decisions_of d ~instance:1 in
+  match ds with
+  | [] -> Alcotest.fail "nobody decided"
+  | (_, v0) :: rest ->
+    List.iter (fun (_, v) -> Alcotest.(check string) "agree" v0 v) rest
+
+let test_halts () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let d = deploy topo in
+  List.iter
+    (fun pid ->
+      propose_at d ~at:(Sim_time.of_ms 1) ~pid ~instance:1 "v")
+    [ 0; 1; 2 ];
+  (* Engine.run returning (without horizon) is quiescence: consensus must
+     cancel its timers and stop sending. *)
+  Engine.run d.engine;
+  Alcotest.(check int) "event queue drained" 0
+    (Scheduler.pending (Engine.scheduler d.engine))
+
+let test_no_proposal_no_traffic () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let d = deploy topo in
+  Engine.run d.engine;
+  Alcotest.(check int) "silent without proposals" 0
+    (Network.sent_total (Engine.network d.engine))
+
+let suites =
+  [
+    ( "consensus",
+      [
+        Alcotest.test_case "all propose, all decide same" `Quick
+          test_all_decide_same;
+        Alcotest.test_case "single proposer" `Quick test_single_proposer;
+        Alcotest.test_case "ten instances" `Quick test_multiple_instances;
+        Alcotest.test_case "coordinator crash before" `Quick
+          test_coordinator_crash;
+        Alcotest.test_case "coordinator crash mid-instance" `Quick
+          test_coordinator_crash_mid_instance;
+        Alcotest.test_case "decider crashes (uniformity)" `Quick
+          test_uniformity_decider_crashes;
+        Alcotest.test_case "halts after decision" `Quick test_halts;
+        Alcotest.test_case "no proposals, no messages" `Quick
+          test_no_proposal_no_traffic;
+      ] );
+  ]
+
+(* Consensus driven by the *message-based* heartbeat failure detector
+   instead of the oracle: the ballot-0 coordinator crashes, its heartbeats
+   stop, the survivors suspect it and rotate to a new coordinator —
+   end-to-end, with no ground-truth access on the consensus path. *)
+type hb_wire =
+  | Hb of Fd.Heartbeat.msg
+  | Px of string Consensus.Paxos.msg
+
+let test_heartbeat_driven_consensus () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let engine =
+    Engine.create ~latency:Util.crisp_latency
+      ~tag:(function Hb _ -> "hb" | Px m -> Consensus.Paxos.tag m)
+      topo
+  in
+  let decisions = ref [] in
+  let parts = Topology.members topo 0 in
+  let endpoints = Hashtbl.create 3 in
+  let heartbeats = Hashtbl.create 3 in
+  List.iter
+    (fun pid ->
+      ignore
+        (Engine.spawn engine pid (fun services ->
+             let hb =
+               Fd.Heartbeat.create ~services
+                 ~wrap:(fun m -> Hb m)
+                 ~monitored:parts ~period:(Sim_time.of_ms 5)
+                 ~timeout:(Sim_time.of_ms 25)
+             in
+             let ep =
+               Consensus.Paxos.create ~services
+                 ~wrap:(fun m -> Px m)
+                 ~participants:parts
+                 ~detector:(Fd.Heartbeat.detector hb)
+                 ~timeout:(Sim_time.of_ms 60)
+                 ~on_decide:(fun ~instance v ->
+                   decisions := (pid, instance, v) :: !decisions)
+                 ()
+             in
+             Hashtbl.replace endpoints pid ep;
+             Hashtbl.replace heartbeats pid hb;
+             ( (),
+               {
+                 Engine.on_receive =
+                   (fun ~src w ->
+                     match w with
+                     | Hb m -> Fd.Heartbeat.handle hb ~src m
+                     | Px m -> Consensus.Paxos.handle ep ~src m);
+               } ))))
+    parts;
+  (* The ballot-0 coordinator dies before anyone proposes. *)
+  Engine.schedule_crash ~drop:Engine.Lose_all_inflight engine
+    ~at:(Sim_time.of_ms 1) 0;
+  List.iter
+    (fun pid ->
+      Engine.at engine (Sim_time.of_ms 10) (fun () ->
+          Consensus.Paxos.propose (Hashtbl.find endpoints pid) ~instance:1
+            (Fmt.str "v%d" pid)))
+    [ 1; 2 ];
+  (* Heartbeats never stop, so run under a horizon. *)
+  Engine.run ~until:(Sim_time.of_sec 2.) engine;
+  let ds =
+    List.filter_map
+      (fun (pid, i, v) -> if i = 1 then Some (pid, v) else None)
+      !decisions
+    |> List.sort compare
+  in
+  (match ds with
+  | [ (1, a); (2, b) ] ->
+    Alcotest.(check string) "survivors agree" a b;
+    Alcotest.(check bool) "proposed value" true (List.mem a [ "v1"; "v2" ])
+  | _ -> Alcotest.failf "expected 2 decisions, got %d" (List.length ds));
+  Hashtbl.iter (fun _ hb -> Fd.Heartbeat.stop hb) heartbeats
+
+let suites =
+  suites
+  @ [
+      ( "consensus-heartbeat",
+        [
+          Alcotest.test_case "heartbeat-driven rotation" `Quick
+            test_heartbeat_driven_consensus;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+open Des
+open Net
+open Runtime
+
+let test_oracle_detects () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let engine = Engine.create ~tag:(fun () -> "nil") topo in
+  List.iter
+    (fun pid ->
+      Engine.spawn engine pid (fun _ ->
+          ((), { Engine.on_receive = (fun ~src:_ () -> ()) })))
+    (Topology.all_pids topo);
+  let s0 = Engine.services engine 0 in
+  let d = Fd.Detector.oracle ~delay:(Sim_time.of_ms 10) s0 in
+  let changes = ref 0 in
+  d.Fd.Detector.subscribe (fun () -> incr changes);
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 5) 2;
+  Alcotest.(check bool) "not suspected before" false (d.Fd.Detector.suspects 2);
+  Engine.run engine;
+  Alcotest.(check bool) "suspected after" true (d.Fd.Detector.suspects 2);
+  Alcotest.(check bool) "correct never suspected" false
+    (d.Fd.Detector.suspects 1);
+  Alcotest.(check int) "one change" 1 !changes
+
+let test_oracle_leader () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let engine = Engine.create ~tag:(fun () -> "nil") topo in
+  List.iter
+    (fun pid ->
+      Engine.spawn engine pid (fun _ ->
+          ((), { Engine.on_receive = (fun ~src:_ () -> ()) })))
+    (Topology.all_pids topo);
+  let d = Fd.Detector.oracle ~delay:Sim_time.zero (Engine.services engine 1) in
+  Alcotest.(check (option int)) "initial leader" (Some 0)
+    (Fd.Detector.leader d [ 0; 1; 2 ]);
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 1) 0;
+  Engine.run engine;
+  Alcotest.(check (option int)) "leader rotates" (Some 1)
+    (Fd.Detector.leader d [ 0; 1; 2 ]);
+  Alcotest.(check (option int)) "all suspected" None
+    (Fd.Detector.leader d [ 0 ])
+
+let test_never_suspects () =
+  let d = Fd.Detector.never_suspects in
+  Alcotest.(check bool) "no suspicion" false (d.Fd.Detector.suspects 42);
+  Alcotest.(check (option int)) "leader is first" (Some 7)
+    (Fd.Detector.leader d [ 7; 8 ])
+
+(* Heartbeat detector: two processes, one crashes, the survivor suspects it
+   after the timeout; no false suspicion while both are alive. *)
+let test_heartbeat_detects_crash () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:2 in
+  let engine =
+    Engine.create ~latency:Util.crisp_latency
+      ~tag:Fd.Heartbeat.(fun m -> Fmt.str "%a" pp_msg m)
+      topo
+  in
+  let detectors = Hashtbl.create 2 in
+  List.iter
+    (fun pid ->
+      let hb =
+        Engine.spawn engine pid (fun services ->
+            let hb =
+              Fd.Heartbeat.create ~services ~wrap:Fun.id
+                ~monitored:(Topology.all_pids topo)
+                ~period:(Sim_time.of_ms 5) ~timeout:(Sim_time.of_ms 20)
+            in
+            (hb, {
+               Engine.on_receive =
+                 (fun ~src m -> Fd.Heartbeat.handle hb ~src m);
+             }))
+      in
+      Hashtbl.replace detectors pid hb)
+    (Topology.all_pids topo);
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 100) 1;
+  (* No false suspicion at 90ms. *)
+  Engine.run ~until:(Sim_time.of_ms 90) engine;
+  let d0 = Fd.Heartbeat.detector (Hashtbl.find detectors 0) in
+  Alcotest.(check bool) "no false suspicion" false (d0.Fd.Detector.suspects 1);
+  (* Crash at 100ms; suspicion by 100 + timeout + slack. *)
+  Engine.run ~until:(Sim_time.of_ms 200) engine;
+  Alcotest.(check bool) "crash suspected" true (d0.Fd.Detector.suspects 1);
+  Fd.Heartbeat.stop (Hashtbl.find detectors 0);
+  Fd.Heartbeat.stop (Hashtbl.find detectors 1)
+
+let suites =
+  [
+    ( "fd",
+      [
+        Alcotest.test_case "oracle detects crash" `Quick test_oracle_detects;
+        Alcotest.test_case "oracle leader rotation" `Quick test_oracle_leader;
+        Alcotest.test_case "never_suspects" `Quick test_never_suspects;
+        Alcotest.test_case "heartbeat detects crash" `Quick
+          test_heartbeat_detects_crash;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* State-machine replication over the protocols: replica consistency under
+   partial replication, full replication, crashes and chained commands. *)
+
+open Des
+open Net
+
+(* A tiny sharded key-value store: each group replicates one shard; a
+   command touches one or two shards. *)
+type kv_cmd =
+  | Set of { shard : int; key : string; value : int }
+  | Move of { from_shard : int; to_shard : int; key : string }
+
+let kv_spec ~groups : ((string, int) Hashtbl.t, kv_cmd) Rsm.spec =
+  ignore groups;
+  {
+    initial = (fun () -> Hashtbl.create 8);
+    apply =
+      (fun state cmd ->
+        (match cmd with
+        | Set { key; value; _ } -> Hashtbl.replace state key value
+        | Move { key; _ } -> (
+          match Hashtbl.find_opt state key with
+          | Some v ->
+            Hashtbl.remove state key;
+            Hashtbl.replace state (key ^ "'") v
+          | None -> Hashtbl.replace state (key ^ "'") 0));
+        state);
+    encode =
+      (function
+      | Set { shard; key; value } -> Fmt.str "set:%d:%s:%d" shard key value
+      | Move { from_shard; to_shard; key } ->
+        Fmt.str "move:%d:%d:%s" from_shard to_shard key);
+    decode =
+      (fun s ->
+        match String.split_on_char ':' s with
+        | [ "set"; shard; key; value ] ->
+          Set
+            {
+              shard = int_of_string shard;
+              key;
+              value = int_of_string value;
+            }
+        | [ "move"; f; t; key ] ->
+          Move
+            { from_shard = int_of_string f; to_shard = int_of_string t; key }
+        | _ -> invalid_arg "decode");
+    placement =
+      (function
+      | Set { shard; _ } -> [ shard ]
+      | Move { from_shard; to_shard; _ } ->
+        List.sort_uniq Int.compare [ from_shard; to_shard ]);
+  }
+
+module Kv_a1 = Rsm.Make (Amcast.A1)
+
+let test_partial_replication_consistency () =
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let t =
+    Kv_a1.deploy ~latency:Util.crisp_latency ~spec:(kv_spec ~groups:3) topo
+  in
+  let cmds =
+    [
+      (0, Set { shard = 0; key = "a"; value = 1 });
+      (2, Set { shard = 1; key = "b"; value = 2 });
+      (4, Set { shard = 2; key = "c"; value = 3 });
+      (0, Move { from_shard = 0; to_shard = 1; key = "a" });
+      (2, Move { from_shard = 1; to_shard = 0; key = "b" });
+      (4, Set { shard = 0; key = "a"; value = 9 });
+    ]
+  in
+  List.iteri
+    (fun i (origin, cmd) ->
+      ignore (Kv_a1.submit t ~at:(Sim_time.of_ms (1 + (3 * i))) ~origin cmd))
+    cmds;
+  let r = Kv_a1.run t in
+  Util.check_no_violations "protocol safety"
+    (Harness.Checker.check_all ~expect_genuine:true r);
+  Util.check_no_violations "replica consistency" (Kv_a1.check_consistency t);
+  (* Shard 0's replicas saw exactly the commands placed on shard 0. *)
+  let log0 = Kv_a1.log_of t 0 in
+  Alcotest.(check int) "shard-0 commands" 4 (List.length log0)
+
+let test_partial_replication_under_crash () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:3 in
+  let t =
+    Kv_a1.deploy ~latency:Util.crisp_latency ~spec:(kv_spec ~groups:2) topo
+  in
+  Runtime.Engine.schedule_crash ~drop:Runtime.Engine.Lose_all_inflight
+    (Kv_a1.engine t) ~at:(Sim_time.of_ms 4) 1;
+  List.iteri
+    (fun i (origin, cmd) ->
+      ignore (Kv_a1.submit t ~at:(Sim_time.of_ms (1 + (3 * i))) ~origin cmd))
+    [
+      (0, Set { shard = 0; key = "x"; value = 1 });
+      (3, Move { from_shard = 1; to_shard = 0; key = "x" });
+      (4, Set { shard = 1; key = "y"; value = 2 });
+    ];
+  let r = Kv_a1.run t in
+  Util.check_no_violations "protocol safety" (Harness.Checker.check_all r);
+  (* The crashed replica p1 may lag; consistency must hold among the
+     surviving replicas of each group. *)
+  let survivors_agree =
+    List.for_all
+      (fun g ->
+        let survivors =
+          List.filter
+            (fun pid -> Harness.Run_result.correct r pid)
+            (Topology.members topo g)
+        in
+        match survivors with
+        | [] -> true
+        | first :: rest ->
+          let ref_log =
+            List.map (kv_spec ~groups:2).encode (Kv_a1.log_of t first)
+          in
+          List.for_all
+            (fun pid ->
+              List.map (kv_spec ~groups:2).encode (Kv_a1.log_of t pid)
+              = ref_log)
+            rest)
+      (Topology.all_groups topo)
+  in
+  Alcotest.(check bool) "surviving replicas agree" true survivors_agree
+
+(* A replicated counter over atomic broadcast: full replication, every
+   copy identical. *)
+module Counter_a2 = Rsm.Make (Amcast.A2)
+
+let counter_spec topo : (int, int) Rsm.spec =
+  {
+    initial = (fun () -> 0);
+    apply = (fun state delta -> state + delta);
+    encode = string_of_int;
+    decode = int_of_string;
+    placement = (fun _ -> Topology.all_groups topo);
+  }
+
+let test_full_replication_counter () =
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let t =
+    Counter_a2.deploy ~latency:Util.crisp_latency ~spec:(counter_spec topo)
+      topo
+  in
+  List.iteri
+    (fun i delta ->
+      ignore
+        (Counter_a2.submit t
+           ~at:(Sim_time.of_ms (1 + (7 * i)))
+           ~origin:(i mod 6) delta))
+    [ 5; -2; 10; 1; -5; 3 ];
+  let r = Counter_a2.run t in
+  Util.check_no_violations "protocol safety" (Harness.Checker.check_all r);
+  Util.check_no_violations "replica consistency"
+    (Counter_a2.check_consistency t);
+  List.iter
+    (fun pid ->
+      Alcotest.(check int)
+        (Fmt.str "p%d counter" pid)
+        12
+        (Counter_a2.state_of t pid))
+    (Topology.all_pids topo)
+
+let test_incremental_runs () =
+  (* submit / run / submit / run: states keep advancing, no re-application
+     of old commands. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let t =
+    Counter_a2.deploy ~latency:Util.crisp_latency ~spec:(counter_spec topo)
+      topo
+  in
+  ignore (Counter_a2.submit t ~at:(Sim_time.of_ms 1) ~origin:0 100);
+  ignore (Counter_a2.run t);
+  Alcotest.(check int) "after first run" 100 (Counter_a2.state_of t 3);
+  let now = Runtime.Engine.now (Counter_a2.engine t) in
+  ignore
+    (Counter_a2.submit t ~at:(Sim_time.add now (Sim_time.of_ms 10)) ~origin:2
+       (-40));
+  ignore (Counter_a2.run t);
+  Alcotest.(check int) "after second run" 60 (Counter_a2.state_of t 3);
+  Alcotest.(check int) "log length" 2 (List.length (Counter_a2.log_of t 3));
+  Util.check_no_violations "replica consistency"
+    (Counter_a2.check_consistency t)
+
+(* Randomised submissions over random shard placements: consistency
+   always holds. *)
+let prop_rsm_random_consistency (seed, n_cmds) =
+    let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+    let t =
+      Kv_a1.deploy ~seed ~latency:Net.Latency.wan_default
+        ~spec:(kv_spec ~groups:3) topo
+    in
+    let rng = Rng.create seed in
+    for i = 0 to n_cmds - 1 do
+      let cmd =
+        if Rng.bool rng then
+          Set
+            {
+              shard = Rng.int rng 3;
+              key = Fmt.str "k%d" (Rng.int rng 4);
+              value = Rng.int rng 100;
+            }
+        else
+          Move
+            {
+              from_shard = Rng.int rng 3;
+              to_shard = Rng.int rng 3;
+              key = Fmt.str "k%d" (Rng.int rng 4);
+            }
+      in
+      ignore
+        (Kv_a1.submit t
+           ~at:(Sim_time.of_ms (1 + (11 * i)))
+           ~origin:(Rng.int rng 6) cmd)
+    done;
+    let r = Kv_a1.run t in
+    Harness.Checker.check_all r = [] && Kv_a1.check_consistency t = []
+
+let suites =
+  [
+    ( "rsm",
+      [
+        Alcotest.test_case "partial replication consistency" `Quick
+          test_partial_replication_consistency;
+        Alcotest.test_case "partial replication under crash" `Quick
+          test_partial_replication_under_crash;
+        Alcotest.test_case "full replication counter" `Quick
+          test_full_replication_counter;
+        Alcotest.test_case "incremental runs" `Quick test_incremental_runs;
+        Util.qcheck_case ~count:20 ~name:"random workloads stay consistent"
+          QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 8))
+          prop_rsm_random_consistency;
+      ] );
+  ]

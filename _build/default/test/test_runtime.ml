@@ -1,0 +1,219 @@
+open Des
+open Net
+open Runtime
+
+(* A tiny echo protocol: pid 0 sends "ping" to everyone, everyone replies
+   "pong" to the source. Exercises sends, receives, Lamport accounting. *)
+type wire = Ping | Pong
+
+let tag = function Ping -> "ping" | Pong -> "pong"
+
+let make_echo_engine ?(latency = Util.crisp_latency) topology =
+  let engine = Engine.create ~latency ~tag topology in
+  let received = ref [] in
+  List.iter
+    (fun pid ->
+      Engine.spawn engine pid (fun services ->
+          ( (),
+            {
+              Engine.on_receive =
+                (fun ~src w ->
+                  received := (pid, src, w) :: !received;
+                  match w with
+                  | Ping -> services.Services.send ~dst:src Pong
+                  | Pong -> ());
+            } )))
+    (Topology.all_pids topology);
+  (engine, received)
+
+let test_engine_echo () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let engine, received = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  Engine.at engine (Sim_time.of_ms 1) (fun () ->
+      List.iter
+        (fun dst -> s0.Services.send ~dst Ping)
+        [ 1; 2; 3 ]);
+  Engine.run engine;
+  let pings = List.filter (fun (_, _, w) -> w = Ping) !received in
+  let pongs = List.filter (fun (_, _, w) -> w = Pong) !received in
+  Alcotest.(check int) "pings" 3 (List.length pings);
+  Alcotest.(check int) "pongs" 3 (List.length pongs)
+
+let test_lamport_rules () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let engine, _ = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  Engine.at engine (Sim_time.of_ms 1) (fun () ->
+      s0.Services.send ~dst:1 Ping; (* intra: no tick *)
+      s0.Services.send ~dst:2 Ping (* inter: tick *));
+  Engine.run engine;
+  (* End of run: p1 only ever saw intra-group traffic carrying 0. *)
+  Alcotest.(check int) "intra receiver clock" 0 (Engine.lc engine 1);
+  (* p2 received an inter-group ping carrying 0+1; its own reply did not
+     advance its clock (sends never advance the sender). *)
+  Alcotest.(check int) "inter receiver clock" 1 (Engine.lc engine 2);
+  (* p0 received p2's inter-group pong carrying 1+1. *)
+  Alcotest.(check int) "sender clock after replies" 2 (Engine.lc engine 0)
+
+let test_crash_stops_process () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:2 in
+  let engine, received = make_echo_engine topo in
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 5) 1;
+  let s0 = Engine.services engine 0 in
+  (* Before the crash: p1 replies. After: silence. *)
+  Engine.at engine (Sim_time.of_ms 1) (fun () -> s0.Services.send ~dst:1 Ping);
+  Engine.at engine (Sim_time.of_ms 10) (fun () -> s0.Services.send ~dst:1 Ping);
+  Engine.run engine;
+  let by_p1 = List.filter (fun (pid, _, _) -> pid = 1) !received in
+  Alcotest.(check int) "p1 received only the first ping" 1 (List.length by_p1);
+  Alcotest.(check bool) "alive flag" false (Engine.alive engine 1)
+
+let test_crash_lose_inflight () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:1 in
+  let engine, received = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  (* p0 sends at 1ms (inter-group: arrives ~51ms), crashes at 2ms losing
+     everything in flight. *)
+  Engine.at engine (Sim_time.of_ms 1) (fun () -> s0.Services.send ~dst:1 Ping);
+  Engine.schedule_crash ~drop:Engine.Lose_all_inflight engine
+    ~at:(Sim_time.of_ms 2) 0;
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !received)
+
+let test_crash_lose_to_subset () =
+  let topo = Topology.symmetric ~groups:3 ~per_group:1 in
+  let engine, received = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  Engine.at engine (Sim_time.of_ms 1) (fun () ->
+      s0.Services.send ~dst:1 Ping;
+      s0.Services.send ~dst:2 Ping);
+  Engine.schedule_crash ~drop:(Engine.Lose_to [ 1 ]) engine
+    ~at:(Sim_time.of_ms 2) 0;
+  Engine.run engine;
+  let receivers = List.map (fun (pid, _, _) -> pid) !received in
+  Alcotest.(check (list int)) "only p2 got the ping" [ 2 ] receivers
+
+let test_timer_fires_and_cancels () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:1 in
+  let engine, _ = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  let fired = ref [] in
+  Engine.at engine Sim_time.zero (fun () ->
+      ignore (s0.Services.set_timer ~after:(Sim_time.of_ms 1) (fun () ->
+          fired := 1 :: !fired));
+      let h = s0.Services.set_timer ~after:(Sim_time.of_ms 2) (fun () ->
+          fired := 2 :: !fired) in
+      s0.Services.cancel_timer h);
+  Engine.run engine;
+  Alcotest.(check (list int)) "only uncancelled timer fired" [ 1 ] !fired
+
+let test_timer_inert_after_crash () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:1 in
+  let engine, _ = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  let fired = ref false in
+  Engine.at engine Sim_time.zero (fun () ->
+      ignore
+        (s0.Services.set_timer ~after:(Sim_time.of_ms 10) (fun () ->
+             fired := true)));
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 5) 0;
+  Engine.run engine;
+  Alcotest.(check bool) "timer skipped after crash" false !fired
+
+let test_crash_detection_subscription () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:2 in
+  let engine, _ = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  let detected = ref [] in
+  s0.Services.on_crash_detected ~delay:(Sim_time.of_ms 7) (fun pid ->
+      detected := (pid, Engine.now engine) :: !detected);
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 3) 1;
+  Engine.run engine;
+  match !detected with
+  | [ (1, t) ] ->
+    Alcotest.(check int) "detected at crash + delay" 10_000 (Sim_time.to_us t)
+  | _ -> Alcotest.fail "expected exactly one detection"
+
+let test_trace_records_events () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:1 in
+  let engine, _ = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  Engine.at engine (Sim_time.of_ms 1) (fun () ->
+      s0.Services.record_cast (Msg_id.make ~origin:0 ~seq:0);
+      s0.Services.send ~dst:1 Ping);
+  Engine.run engine;
+  let entries = Trace.entries (Engine.trace engine) in
+  let has p = List.exists p entries in
+  Alcotest.(check bool) "cast recorded" true
+    (has (function Trace.Cast _ -> true | _ -> false));
+  Alcotest.(check bool) "send recorded with tag" true
+    (has (function
+      | Trace.Send { tag = "ping"; inter_group = true; _ } -> true
+      | _ -> false));
+  Alcotest.(check bool) "receive recorded" true
+    (has (function Trace.Receive _ -> true | _ -> false))
+
+let test_engine_determinism () =
+  let run_once () =
+    let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+    let engine, received =
+      let e = Engine.create ~seed:33 ~latency:Net.Latency.wan_default ~tag
+          topo in
+      let received = ref [] in
+      List.iter
+        (fun pid ->
+          Engine.spawn e pid (fun services ->
+              ( (),
+                {
+                  Engine.on_receive =
+                    (fun ~src w ->
+                      received := (pid, src, tag w) :: !received;
+                      match w with
+                      | Ping -> services.Services.send ~dst:src Pong
+                      | Pong -> ());
+                } )))
+        (Topology.all_pids topo);
+      (e, received)
+    in
+    let s0 = Engine.services engine 0 in
+    Engine.at engine (Sim_time.of_ms 1) (fun () ->
+        List.iter (fun dst -> s0.Services.send ~dst Ping) [ 1; 2; 3 ]);
+    Engine.run engine;
+    (List.rev !received, Sim_time.to_us (Engine.now engine))
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_msg_id_order () =
+  let a = Msg_id.make ~origin:1 ~seq:5 in
+  let b = Msg_id.make ~origin:1 ~seq:6 in
+  let c = Msg_id.make ~origin:2 ~seq:0 in
+  Alcotest.(check bool) "seq order" true (Msg_id.compare a b < 0);
+  Alcotest.(check bool) "origin dominates" true (Msg_id.compare b c < 0);
+  Alcotest.(check bool) "equal" true (Msg_id.equal a (Msg_id.make ~origin:1 ~seq:5))
+
+let suites =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "echo end-to-end" `Quick test_engine_echo;
+        Alcotest.test_case "modified Lamport rules" `Quick test_lamport_rules;
+        Alcotest.test_case "crash stops process" `Quick
+          test_crash_stops_process;
+        Alcotest.test_case "crash loses in-flight" `Quick
+          test_crash_lose_inflight;
+        Alcotest.test_case "crash loses to subset" `Quick
+          test_crash_lose_to_subset;
+        Alcotest.test_case "timers fire and cancel" `Quick
+          test_timer_fires_and_cancels;
+        Alcotest.test_case "timers inert after crash" `Quick
+          test_timer_inert_after_crash;
+        Alcotest.test_case "crash detection subscription" `Quick
+          test_crash_detection_subscription;
+        Alcotest.test_case "trace records events" `Quick
+          test_trace_records_events;
+        Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        Alcotest.test_case "msg id order" `Quick test_msg_id_order;
+      ] );
+  ]

@@ -1,0 +1,35 @@
+(* Randomised soak campaigns, one per protocol family — the same engine
+   bin/amcast_soak drives, kept small enough for the test suite. *)
+
+let campaign ?(broadcast_only = false) ?(with_crashes = false)
+    ?(expect_genuine = false) name proto =
+  Alcotest.test_case name `Slow (fun () ->
+      let summary =
+        Harness.Campaign.run proto ~expect_genuine ~broadcast_only
+          ~with_crashes ~seed:99 ~runs:12 ()
+      in
+      (match summary.failures with
+      | [] -> ()
+      | o :: _ ->
+        Alcotest.failf "campaign violation: %s"
+          (String.concat "; " o.violations));
+      Alcotest.(check int) "all clean" summary.runs summary.clean)
+
+let suites =
+  [
+    ( "soak",
+      [
+        campaign ~with_crashes:true ~expect_genuine:true "a1"
+          (module Amcast.A1 : Amcast.Protocol.S);
+        campaign ~with_crashes:true ~broadcast_only:true "a2"
+          (module Amcast.A2);
+        campaign ~with_crashes:true "via-broadcast"
+          (module Amcast.Via_broadcast);
+        campaign ~with_crashes:true ~expect_genuine:true "fritzke"
+          (module Amcast.Fritzke);
+        campaign ~expect_genuine:true "skeen" (module Amcast.Skeen);
+        campaign ~expect_genuine:true "ring" (module Amcast.Ring);
+        campaign ~expect_genuine:true "scalable" (module Amcast.Scalable);
+        campaign ~broadcast_only:true "sequencer" (module Amcast.Sequencer);
+      ] );
+  ]

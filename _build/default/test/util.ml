@@ -1,0 +1,23 @@
+(* Shared helpers for the test suites. *)
+
+let ms = Des.Sim_time.of_ms
+let us = Des.Sim_time.of_us
+
+let check_no_violations what violations =
+  Alcotest.(check (list string)) what [] violations
+
+(* A fast latency model for tests: keeps the intra/inter asymmetry but with
+   zero jitter so expectations are exact. *)
+let crisp_latency =
+  Net.Latency.uniform ~intra:(us 1_000) ~inter:(us 50_000) ()
+
+let wan = Net.Latency.wan_default
+
+let degree_of result id =
+  match Harness.Metrics.latency_degree result id with
+  | Some d -> d
+  | None -> Alcotest.failf "message %a was never delivered" Runtime.Msg_id.pp id
+
+let qcheck_case ?(count = 100) ~name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
