@@ -1,0 +1,183 @@
+(* campaign_bench — machine-readable campaign throughput baselines.
+
+   Runs a fixed, seeded scenario matrix (the same scenario list
+   Harness.Campaign expands a seed to) through the sequential driver and
+   through the Pool-based parallel driver, checks the summaries are
+   bit-identical, and writes BENCH_campaign.json with events/sec and
+   scenarios/sec per driver so the perf trajectory is tracked across PRs.
+
+   Usage: campaign_bench [--runs N] [--seed S] [--domains D] [--out PATH]
+   Defaults: 128 runs per protocol, seed 7, D = recommended domain count,
+   ./BENCH_campaign.json. Exits non-zero if any summary disagrees between
+   drivers or any scenario produced a violation. *)
+
+type target = {
+  name : string;
+  proto : (module Amcast.Protocol.S);
+  broadcast_only : bool;
+  with_crashes : bool;
+  expect_genuine : bool;
+}
+
+let matrix =
+  [
+    {
+      name = "a1";
+      proto = (module Amcast.A1 : Amcast.Protocol.S);
+      broadcast_only = false;
+      with_crashes = true;
+      expect_genuine = true;
+    };
+    {
+      name = "a2";
+      proto = (module Amcast.A2);
+      broadcast_only = true;
+      with_crashes = true;
+      expect_genuine = false;
+    };
+    {
+      name = "fritzke";
+      proto = (module Amcast.Fritzke);
+      broadcast_only = false;
+      with_crashes = true;
+      expect_genuine = true;
+    };
+  ]
+
+type measurement = {
+  driver : string;
+  domains : int;
+  wall_s : float;
+  scenarios_run : int;
+  events : int;
+  summaries : (string * Harness.Campaign.summary) list;
+}
+
+let measure ~driver ~domains ~runs ~seed =
+  let t0 = Unix.gettimeofday () in
+  let summaries =
+    List.map
+      (fun t ->
+        let ss =
+          Harness.Campaign.scenarios ~broadcast_only:t.broadcast_only
+            ~with_crashes:t.with_crashes ~seed ~runs ()
+        in
+        let outcomes =
+          if driver = "sequential" then
+            Harness.Campaign.run_scenarios t.proto
+              ~expect_genuine:t.expect_genuine ss
+          else
+            Harness.Campaign.run_scenarios_parallel t.proto
+              ~expect_genuine:t.expect_genuine ~domains ss
+        in
+        (t.name, Harness.Campaign.summarize outcomes))
+      matrix
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    driver;
+    domains;
+    wall_s;
+    scenarios_run = List.length matrix * runs;
+    events =
+      List.fold_left
+        (fun acc (_, s) -> acc + s.Harness.Campaign.total_steps)
+        0 summaries;
+    summaries;
+  }
+
+let json_of_measurement ~baseline_wall m =
+  Printf.sprintf
+    {|    {
+      "driver": "%s",
+      "domains": %d,
+      "wall_s": %.6f,
+      "scenarios": %d,
+      "events": %d,
+      "scenarios_per_s": %.2f,
+      "events_per_s": %.0f,
+      "speedup_vs_sequential": %.3f
+    }|}
+    m.driver m.domains m.wall_s m.scenarios_run m.events
+    (float_of_int m.scenarios_run /. m.wall_s)
+    (float_of_int m.events /. m.wall_s)
+    (baseline_wall /. m.wall_s)
+
+let () =
+  let runs = ref 128 in
+  let seed = ref 7 in
+  let domains = ref (Harness.Pool.recommended_domains ()) in
+  let out = ref "BENCH_campaign.json" in
+  let rec parse = function
+    | "--runs" :: v :: rest -> runs := int_of_string v; parse rest
+    | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
+    | "--domains" :: v :: rest -> domains := int_of_string v; parse rest
+    | "--out" :: v :: rest -> out := v; parse rest
+    | [] -> ()
+    | a :: _ ->
+      Printf.eprintf
+        "campaign_bench: unknown argument %s\n\
+         usage: campaign_bench [--runs N] [--seed S] [--domains D] [--out \
+         PATH]\n"
+        a;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let runs = !runs and seed = !seed and domains = max 1 !domains in
+  Printf.printf "campaign_bench: %d protocols x %d scenarios, seed %d\n%!"
+    (List.length matrix) runs seed;
+  let seq = measure ~driver:"sequential" ~domains:1 ~runs ~seed in
+  Printf.printf "  sequential      : %7.3fs  %8d events\n%!" seq.wall_s
+    seq.events;
+  let par = measure ~driver:"parallel" ~domains ~runs ~seed in
+  Printf.printf "  parallel (%2dd)  : %7.3fs  %8d events  %.2fx\n%!" domains
+    par.wall_s par.events
+    (seq.wall_s /. par.wall_s);
+  let identical = seq.summaries = par.summaries in
+  let violations =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Harness.Campaign.total_violations)
+      0 seq.summaries
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"amcast-bench-campaign/v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"generated_unix_time\": %.0f,\n"
+       (Unix.gettimeofday ()));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"host\": { \"recommended_domains\": %d },\n"
+       (Harness.Pool.recommended_domains ()));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"matrix\": { \"seed\": %d, \"runs_per_protocol\": %d, \
+        \"protocols\": [%s] },\n"
+       seed runs
+       (String.concat ", "
+          (List.map (fun t -> Printf.sprintf "\"%s\"" t.name) matrix)));
+  Buffer.add_string buf "  \"results\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (json_of_measurement ~baseline_wall:seq.wall_s)
+          [ seq; par ]));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"summaries_identical\": %b,\n" identical);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_violations\": %d\n" violations);
+  Buffer.add_string buf "}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" !out;
+  if not identical then begin
+    prerr_endline
+      "campaign_bench: FAIL — parallel summary differs from sequential";
+    exit 1
+  end;
+  if violations > 0 then begin
+    Printf.eprintf "campaign_bench: FAIL — %d violations\n" violations;
+    exit 1
+  end

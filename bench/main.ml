@@ -22,21 +22,28 @@ let ms = Sim_time.of_ms
 let hr width = print_endline (String.make width '-')
 
 let print_table ~title ~header rows =
-  let all = header :: rows in
+  (* Materialise rows as arrays: the List.nth-per-cell version was
+     O(cols^2) per row, noticeable on the wide Figure 1 tables. *)
+  let all = List.map Array.of_list (header :: rows) in
   let cols = List.length header in
-  let widths =
-    List.init cols (fun i ->
-        List.fold_left
-          (fun acc row -> max acc (String.length (List.nth row i)))
-          0 all)
-  in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
   let render row =
     String.concat "  "
-      (List.mapi
-         (fun i cell -> cell ^ String.make (List.nth widths i - String.length cell) ' ')
-         row)
+      (Array.to_list
+         (Array.mapi
+            (fun i cell ->
+              cell ^ String.make (widths.(i) - String.length cell) ' ')
+            row))
   in
-  let total = List.fold_left ( + ) (2 * (cols - 1)) widths in
+  let header = Array.of_list header in
+  let rows = List.map Array.of_list rows in
+  let total = Array.fold_left ( + ) (2 * (cols - 1)) widths in
   print_newline ();
   print_endline title;
   hr total;

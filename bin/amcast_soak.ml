@@ -5,7 +5,13 @@
    exits non-zero on any violation. The CI-style entry point of the
    library's chaos testing.
 
-   Usage: amcast_soak [RUNS] [SEED] *)
+   With DOMAINS > 1 the scenarios of each campaign are fanned out across
+   that many OCaml domains (Harness.Pool); the summaries — and the exit
+   code — are bit-identical to a sequential run for any domain count.
+
+   Usage: amcast_soak [RUNS] [SEED] [DOMAINS]
+   DOMAINS defaults to 1 (sequential); pass 0 for the recommended domain
+   count of this machine. *)
 
 let () =
   let runs =
@@ -13,6 +19,16 @@ let () =
   in
   let seed =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0
+  in
+  let domains =
+    if Array.length Sys.argv > 3 then
+      match int_of_string Sys.argv.(3) with
+      | 0 -> Harness.Pool.recommended_domains ()
+      | d when d < 0 ->
+        prerr_endline "amcast_soak: DOMAINS must be >= 0";
+        exit 2
+      | d -> d
+    else 1
   in
   (* Fault-tolerant protocols are soaked with crashes; the failure-free
      baselines (Figure 1's model for them) without. *)
@@ -31,11 +47,12 @@ let () =
   let failed = ref false in
   List.iter
     (fun (name, proto, broadcast_only, with_crashes, expect_genuine) ->
-      Fmt.pr "@.== %s: %d runs%s ==@." name runs
-        (if with_crashes then " (with crash injection)" else "");
+      Fmt.pr "@.== %s: %d runs%s%s ==@." name runs
+        (if with_crashes then " (with crash injection)" else "")
+        (if domains > 1 then Fmt.str " on %d domains" domains else "");
       let summary =
-        Harness.Campaign.run proto ~expect_genuine ~broadcast_only
-          ~with_crashes ~seed ~runs ()
+        Harness.Campaign.run_parallel proto ~expect_genuine ~broadcast_only
+          ~with_crashes ~domains ~seed ~runs ()
       in
       Fmt.pr "%a@." Harness.Campaign.pp_summary summary;
       if summary.failures <> [] then failed := true)

@@ -1,16 +1,22 @@
 type 'a entry = { time : Sim_time.t; seq : int; handle : int; payload : 'a }
 
+(* Cancellation is O(1): [flags] is a byte per issued handle (1 = live,
+   0 = popped/cancelled/never issued) and [live] counts the set bits, so
+   [pop]/[peek_time]/[size] never touch a hash table. Handles are dense
+   (allocated 0,1,2,...), which makes a flat byte array both smaller and
+   much faster than the Hashtbl it replaces on the per-event hot path. *)
 type 'a t = {
   mutable heap : 'a entry array;
   mutable len : int;
   mutable next_seq : int;
   mutable next_handle : int;
-  pending : (int, unit) Hashtbl.t; (* handles scheduled and not yet popped/cancelled *)
+  mutable flags : Bytes.t;
+  mutable live : int;
 }
 
 let create () =
   { heap = [||]; len = 0; next_seq = 0; next_handle = 0;
-    pending = Hashtbl.create 64 }
+    flags = Bytes.make 64 '\000'; live = 0 }
 
 let entry_lt a b =
   let c = Sim_time.compare a.time b.time in
@@ -24,28 +30,38 @@ let grow q =
   Array.blit q.heap 0 nh 0 q.len;
   q.heap <- nh
 
-let rec sift_up q i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if entry_lt q.heap.(i) q.heap.(parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
-      sift_up q parent
+(* Hole-based sifts: carry the moving entry in [e] and write it exactly
+   once at its final slot, instead of a three-write swap per level. *)
+let sift_up q i e =
+  let i = ref i in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if entry_lt e q.heap.(parent) then begin
+      q.heap.(!i) <- q.heap.(parent);
+      i := parent
     end
-  end
+    else moving := false
+  done;
+  q.heap.(!i) <- e
 
-let rec sift_down q i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < q.len && entry_lt q.heap.(l) q.heap.(!smallest) then smallest := l;
-  if r < q.len && entry_lt q.heap.(r) q.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(!smallest);
-    q.heap.(!smallest) <- tmp;
-    sift_down q !smallest
-  end
+let sift_down q e =
+  let i = ref 0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    if l >= q.len then moving := false
+    else begin
+      let r = l + 1 in
+      let c = if r < q.len && entry_lt q.heap.(r) q.heap.(l) then r else l in
+      if entry_lt q.heap.(c) e then begin
+        q.heap.(!i) <- q.heap.(c);
+        i := c
+      end
+      else moving := false
+    end
+  done;
+  q.heap.(!i) <- e
 
 let add q ~time payload =
   let handle = q.next_handle in
@@ -54,46 +70,54 @@ let add q ~time payload =
   q.next_seq <- q.next_seq + 1;
   if q.len = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 e;
   if q.len >= Array.length q.heap then grow q;
-  q.heap.(q.len) <- e;
   q.len <- q.len + 1;
-  Hashtbl.replace q.pending handle ();
-  sift_up q (q.len - 1);
+  sift_up q (q.len - 1) e;
+  if handle >= Bytes.length q.flags then begin
+    let ncap = max (2 * Bytes.length q.flags) (handle + 1) in
+    let nf = Bytes.make ncap '\000' in
+    Bytes.blit q.flags 0 nf 0 (Bytes.length q.flags);
+    q.flags <- nf
+  end;
+  Bytes.unsafe_set q.flags handle '\001';
+  q.live <- q.live + 1;
   handle
 
-let cancel q handle = Hashtbl.remove q.pending handle
-
-let pop_entry q =
-  if q.len = 0 then None
-  else begin
-    let e = q.heap.(0) in
-    q.len <- q.len - 1;
-    if q.len > 0 then begin
-      q.heap.(0) <- q.heap.(q.len);
-      sift_down q 0
-    end;
-    Some e
+let cancel q handle =
+  if handle >= 0 && handle < q.next_handle
+     && Bytes.unsafe_get q.flags handle = '\001'
+  then begin
+    Bytes.unsafe_set q.flags handle '\000';
+    q.live <- q.live - 1
   end
 
+let pop_entry q =
+  let e = q.heap.(0) in
+  q.len <- q.len - 1;
+  if q.len > 0 then sift_down q q.heap.(q.len);
+  e
+
 let rec pop q =
-  match pop_entry q with
-  | None -> None
-  | Some e ->
-    if Hashtbl.mem q.pending e.handle then begin
-      Hashtbl.remove q.pending e.handle;
+  if q.len = 0 then None
+  else begin
+    let e = pop_entry q in
+    if Bytes.unsafe_get q.flags e.handle = '\001' then begin
+      Bytes.unsafe_set q.flags e.handle '\000';
+      q.live <- q.live - 1;
       Some (e.time, e.payload)
     end
     else pop q (* cancelled: skip *)
+  end
 
 let rec peek_time q =
   if q.len = 0 then None
   else begin
     let e = q.heap.(0) in
-    if Hashtbl.mem q.pending e.handle then Some e.time
+    if Bytes.unsafe_get q.flags e.handle = '\001' then Some e.time
     else begin
       ignore (pop_entry q);
       peek_time q
     end
   end
 
-let size q = Hashtbl.length q.pending
-let is_empty q = size q = 0
+let size q = q.live
+let is_empty q = q.live = 0

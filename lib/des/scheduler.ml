@@ -3,9 +3,11 @@ type handle = int
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : Sim_time.t;
+  mutable executed : int;
 }
 
-let create () = { queue = Event_queue.create (); clock = Sim_time.zero }
+let create () =
+  { queue = Event_queue.create (); clock = Sim_time.zero; executed = 0 }
 
 let now t = t.clock
 
@@ -19,11 +21,14 @@ let cancel t h = Event_queue.cancel t.queue h
 
 let pending t = Event_queue.size t.queue
 
+let executed t = t.executed
+
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (time, f) ->
     t.clock <- Sim_time.max t.clock time;
+    t.executed <- t.executed + 1;
     f ();
     true
 

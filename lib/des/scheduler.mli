@@ -33,6 +33,10 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of actions still scheduled. *)
 
+val executed : t -> int
+(** Total number of actions executed since creation — the event count of
+    the simulation so far, used to normalise benchmark throughput. *)
+
 val step : t -> bool
 (** Executes the single earliest pending action. Returns [false] if the
     queue was empty (and the clock did not move). *)

@@ -17,6 +17,7 @@ type outcome = {
   delivered : int;
   max_degree : int option;
   drained : bool;
+  steps : int;
 }
 
 type summary = {
@@ -25,6 +26,7 @@ type summary = {
   total_violations : int;
   failures : outcome list;
   delivered_total : int;
+  total_steps : int;
 }
 
 let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true) () =
@@ -37,6 +39,18 @@ let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true) () =
     with_crashes;
     jitter = Rng.bool rng;
   }
+
+(* Scenarios in generation order: only this loop draws from the campaign
+   rng (each run re-seeds from its scenario), so generating everything up
+   front gives the exact scenario list the sequential and the parallel
+   drivers share. *)
+let scenarios ?broadcast_only ?with_crashes ~seed ~runs () =
+  let rng = Rng.create seed in
+  let rec gen acc n =
+    if n = 0 then List.rev acc
+    else gen (random_scenario rng ?broadcast_only ?with_crashes () :: acc) (n - 1)
+  in
+  gen [] runs
 
 let faults_for s topo =
   if not s.with_crashes then []
@@ -87,25 +101,45 @@ let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false) s =
     delivered = Metrics.delivered_count r;
     max_degree = Metrics.max_latency_degree r;
     drained = r.drained;
+    steps = r.events_executed;
   }
 
-let run proto ?expect_genuine ?broadcast_only ?with_crashes ~seed ~runs () =
-  let rng = Rng.create seed in
-  let outcomes =
-    List.init runs (fun _ ->
-        run_one proto ?expect_genuine
-          (random_scenario rng ?broadcast_only ?with_crashes ()))
-  in
+let summarize outcomes =
   let failures = List.filter (fun o -> o.violations <> []) outcomes in
   {
-    runs;
-    clean = runs - List.length failures;
+    runs = List.length outcomes;
+    clean = List.length outcomes - List.length failures;
     total_violations =
       List.fold_left (fun acc o -> acc + List.length o.violations) 0 outcomes;
     failures;
     delivered_total =
       List.fold_left (fun acc o -> acc + o.delivered) 0 outcomes;
+    total_steps = List.fold_left (fun acc o -> acc + o.steps) 0 outcomes;
   }
+
+let run_scenarios proto ?expect_genuine ss =
+  List.map (run_one proto ?expect_genuine) ss
+
+(* Each scenario owns its seed, so runs are independent; the pool writes
+   outcome [i] at index [i], so the outcome list — and therefore the
+   summary — is bit-identical to the sequential driver's for any domain
+   count. *)
+let run_scenarios_parallel proto ?expect_genuine ?domains ss =
+  Pool.map ?domains
+    (fun s -> run_one proto ?expect_genuine s)
+    (Array.of_list ss)
+  |> Array.to_list
+
+let run proto ?expect_genuine ?broadcast_only ?with_crashes ~seed ~runs () =
+  scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
+  |> run_scenarios proto ?expect_genuine
+  |> summarize
+
+let run_parallel proto ?expect_genuine ?broadcast_only ?with_crashes ?domains
+    ~seed ~runs () =
+  scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
+  |> run_scenarios_parallel proto ?expect_genuine ?domains
+  |> summarize
 
 let pp_scenario ppf s =
   Fmt.pf ppf
@@ -116,8 +150,8 @@ let pp_scenario ppf s =
     (if s.jitter then " jitter" else "")
 
 let pp_summary ppf t =
-  Fmt.pf ppf "@[<v>%d runs, %d clean, %d messages delivered@," t.runs t.clean
-    t.delivered_total;
+  Fmt.pf ppf "@[<v>%d runs, %d clean, %d messages delivered, %d events@,"
+    t.runs t.clean t.delivered_total t.total_steps;
   if t.failures = [] then Fmt.pf ppf "no violations.@]"
   else begin
     Fmt.pf ppf "%d VIOLATIONS across %d runs:@," t.total_violations

@@ -4,7 +4,11 @@
     latency model, crash schedule — through one protocol, checks every run
     with {!Checker}, and aggregates. This is the library's "chaos testing"
     entry point: the test suite runs small campaigns, and
-    [bin/amcast_soak] runs large ones from the command line. *)
+    [bin/amcast_soak] runs large ones from the command line.
+
+    Scenarios are independent (each owns its seed), so a campaign can be
+    fanned out across domains with {!run_parallel}; the aggregate summary
+    is bit-identical to the sequential {!run} for any domain count. *)
 
 type scenario = {
   seed : int;
@@ -24,6 +28,7 @@ type outcome = {
   delivered : int;
   max_degree : int option;
   drained : bool;
+  steps : int;  (** Simulation events executed by this run. *)
 }
 
 type summary = {
@@ -32,6 +37,7 @@ type summary = {
   total_violations : int;
   failures : outcome list;  (** Outcomes with at least one violation. *)
   delivered_total : int;
+  total_steps : int;  (** Simulation events executed across all runs. *)
 }
 
 val random_scenario :
@@ -41,8 +47,36 @@ val random_scenario :
   unit ->
   scenario
 
+val scenarios :
+  ?broadcast_only:bool ->
+  ?with_crashes:bool ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  scenario list
+(** The deterministic scenario list campaign [seed] expands to — the one
+    both {!run} and {!run_parallel} execute. *)
+
 val run_one :
   (module Amcast.Protocol.S) -> ?expect_genuine:bool -> scenario -> outcome
+
+val run_scenarios :
+  (module Amcast.Protocol.S) ->
+  ?expect_genuine:bool ->
+  scenario list ->
+  outcome list
+(** Runs a fixed scenario list sequentially, outcomes in scenario order. *)
+
+val run_scenarios_parallel :
+  (module Amcast.Protocol.S) ->
+  ?expect_genuine:bool ->
+  ?domains:int ->
+  scenario list ->
+  outcome list
+(** Same outcomes as {!run_scenarios} (scenario order, identical values),
+    computed on [domains] domains via {!Pool.map}. *)
+
+val summarize : outcome list -> summary
 
 val run :
   (module Amcast.Protocol.S) ->
@@ -53,5 +87,20 @@ val run :
   runs:int ->
   unit ->
   summary
+
+val run_parallel :
+  (module Amcast.Protocol.S) ->
+  ?expect_genuine:bool ->
+  ?broadcast_only:bool ->
+  ?with_crashes:bool ->
+  ?domains:int ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  summary
+(** [run_parallel ~domains proto ... ~seed ~runs ()] fans the campaign's
+    scenarios out across [domains] domains (default
+    {!Pool.recommended_domains}) and produces a summary bit-identical to
+    [run proto ... ~seed ~runs ()]. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,21 @@
+(** A chunked work-distribution pool over OCaml 5 domains.
+
+    Built for the campaign/soak workload: many independent, seeded,
+    CPU-bound simulations with no shared mutable state. Workers claim
+    chunks of the input with an atomic counter; each result is written to
+    its input's index, so [map] preserves input order and is therefore
+    deterministic regardless of how domains interleave. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the sensible upper bound for
+    [?domains] on this machine. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f items] is [Array.map f items], computed on [domains]
+    domains (default {!recommended_domains}; clamped to the item count;
+    [~domains:1] runs sequentially in the calling domain with no domain
+    spawned). [f] must not share mutable state across items. If any
+    application of [f] raises, the first exception observed is re-raised
+    after all domains have been joined.
+
+    @raise Invalid_argument when [domains < 1]. *)

@@ -24,6 +24,7 @@ type t = {
   intra_group_msgs : int;
   end_time : Des.Sim_time.t;
   drained : bool;
+  events_executed : int;
 }
 
 let correct t pid = not (List.mem pid t.crashed)

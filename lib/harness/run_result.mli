@@ -34,6 +34,9 @@ type t = {
       (** Whether the run ended because the event queue drained (the
           deployment became quiescent) rather than because the horizon was
           reached. *)
+  events_executed : int;
+      (** Scheduler actions executed during the run — the simulation's raw
+          event count, the unit benchmarks normalise throughput by. *)
 }
 
 val correct : t -> Net.Topology.pid -> bool

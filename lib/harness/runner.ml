@@ -11,8 +11,8 @@ module Make (P : Amcast.Protocol.S) = struct
     engine : P.wire Engine.t;
     nodes : P.t option array;
     next_seq : int array; (* per-origin message sequence numbers *)
-    mutable casts : Run_result.cast_event list; (* newest first *)
-    mutable deliveries : Run_result.delivery_event list; (* newest first *)
+    casts : Run_result.cast_event Vec.t; (* in cast order *)
+    deliveries : Run_result.delivery_event Vec.t; (* in occurrence order *)
   }
 
   let deploy ?(seed = 0) ?(latency = Latency.wan_default)
@@ -25,8 +25,8 @@ module Make (P : Amcast.Protocol.S) = struct
         engine;
         nodes = Array.make n None;
         next_seq = Array.make n 0;
-        casts = [];
-        deliveries = [];
+        casts = Vec.create ();
+        deliveries = Vec.create ();
       }
     in
     List.iter
@@ -35,14 +35,13 @@ module Make (P : Amcast.Protocol.S) = struct
           Engine.spawn engine pid (fun services ->
               let deliver msg =
                 services.Services.record_deliver msg.Amcast.Msg.id;
-                d.deliveries <-
+                Vec.push d.deliveries
                   {
                     Run_result.pid;
                     msg;
                     at = services.Services.now ();
                     lc = services.Services.lc ();
                   }
-                  :: d.deliveries
               in
               let state = P.create ~services ~config ~deliver in
               ( state,
@@ -69,14 +68,13 @@ module Make (P : Amcast.Protocol.S) = struct
     Engine.at d.engine at (fun () ->
         let services = Engine.services d.engine origin in
         services.Services.record_cast id;
-        d.casts <-
+        Vec.push d.casts
           {
             Run_result.msg;
             origin;
             at = services.Services.now ();
             lc = services.Services.lc ();
-          }
-          :: d.casts;
+          };
         P.cast (Option.get d.nodes.(origin)) msg);
     id
 
@@ -96,16 +94,18 @@ module Make (P : Amcast.Protocol.S) = struct
         (Trace.entries trace)
     in
     let network = Engine.network d.engine in
+    let sched = Engine.scheduler d.engine in
     {
       Run_result.topology = Engine.topology d.engine;
-      casts = List.rev d.casts;
-      deliveries = List.rev d.deliveries;
+      casts = Vec.to_list d.casts;
+      deliveries = Vec.to_list d.deliveries;
       crashed;
       trace;
       inter_group_msgs = Network.sent_inter_group network;
       intra_group_msgs = Network.sent_intra_group network;
       end_time = Engine.now d.engine;
-      drained = Scheduler.pending (Engine.scheduler d.engine) = 0;
+      drained = Scheduler.pending sched = 0;
+      events_executed = Scheduler.executed sched;
     }
 
   let run ?seed ?latency ?config ?record_trace ?faults ?until ?max_steps
@@ -113,4 +113,4 @@ module Make (P : Amcast.Protocol.S) = struct
     let d = deploy ?seed ?latency ?config ?record_trace ?faults topology in
     ignore (schedule d workload);
     run_deployment ?until ?max_steps d
-end
+  end

@@ -1,18 +1,28 @@
 open Des
 
-type 'w inflight = {
+type 'w slot = {
   src : Topology.pid;
   dst : Topology.pid;
   payload : 'w;
+  handle : Scheduler.handle;
 }
 
+(* In-flight messages live in a free-list slab instead of a Hashtbl: [send]
+   is the hottest call in the simulator and the slab turns its bookkeeping
+   into two array writes (acquire a slot index, store the record). The
+   adversarial controls ([hold]/[heal]/[drop_inflight]) scan the slab — they
+   are rare, and they sort by scheduler handle anyway for determinism, so
+   losing the hash table costs them nothing. Invariant: [slots.(i) = None]
+   iff [i] is on the free stack ([free.(0 .. free_top-1)]). *)
 type 'w t = {
   sched : Scheduler.t;
   topology : Topology.t;
   latency : Latency.t;
   rng : Rng.t;
   deliver : src:Topology.pid -> dst:Topology.pid -> 'w -> unit;
-  inflight : (Scheduler.handle, 'w inflight) Hashtbl.t;
+  mutable slots : 'w slot option array;
+  mutable free : int array;
+  mutable free_top : int;
   holds : (Topology.gid * Topology.gid, Sim_time.t) Hashtbl.t;
   mutable send_filter : (src:Topology.pid -> dst:Topology.pid -> bool) option;
   mutable taps : (src:Topology.pid -> dst:Topology.pid -> 'w -> unit) list;
@@ -28,7 +38,9 @@ let create ~sched ~topology ~latency ~rng ~deliver =
     latency;
     rng;
     deliver;
-    inflight = Hashtbl.create 256;
+    slots = [||];
+    free = [||];
+    free_top = 0;
     holds = Hashtbl.create 8;
     send_filter = None;
     taps = [];
@@ -42,14 +54,40 @@ let hold_floor t ~src_group ~dst_group =
   | None -> Sim_time.zero
   | Some u -> u
 
+let acquire_slot t =
+  if t.free_top = 0 then begin
+    let cap = Array.length t.slots in
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ns = Array.make ncap None in
+    Array.blit t.slots 0 ns 0 cap;
+    t.slots <- ns;
+    let nf = Array.make ncap 0 in
+    t.free <- nf;
+    (* Push new indices high-to-low so low indices are handed out first. *)
+    for i = ncap - 1 downto cap do
+      t.free.(t.free_top) <- i;
+      t.free_top <- t.free_top + 1
+    done
+  end;
+  t.free_top <- t.free_top - 1;
+  t.free.(t.free_top)
+
+let release_slot t i =
+  t.slots.(i) <- None;
+  t.free.(t.free_top) <- i;
+  t.free_top <- t.free_top + 1
+
+let fire t i =
+  match t.slots.(i) with
+  | None -> ()
+  | Some s ->
+    release_slot t i;
+    t.deliver ~src:s.src ~dst:s.dst s.payload
+
 let schedule_delivery t ~src ~dst ~arrival payload =
-  let handle = ref (-1) in
-  let fire () =
-    Hashtbl.remove t.inflight !handle;
-    t.deliver ~src ~dst payload
-  in
-  handle := Scheduler.at t.sched arrival fire;
-  Hashtbl.replace t.inflight !handle { src; dst; payload }
+  let i = acquire_slot t in
+  let handle = Scheduler.at t.sched arrival (fun () -> fire t i) in
+  t.slots.(i) <- Some { src; dst; payload; handle }
 
 let send t ~src ~dst payload =
   let admitted =
@@ -72,30 +110,31 @@ let send t ~src ~dst payload =
     schedule_delivery t ~src ~dst ~arrival payload
   end
 
+(* In-flight messages on the [src_group]→[dst_group] link, sorted by
+   scheduler handle (i.e. scheduling order) for determinism. *)
+let inflight_on_link t ~src_group ~dst_group =
+  let acc = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Some m
+        when Topology.group_of t.topology m.src = src_group
+             && Topology.group_of t.topology m.dst = dst_group ->
+        acc := (i, m) :: !acc
+      | _ -> ())
+    t.slots;
+  List.sort (fun (_, a) (_, b) -> Int.compare a.handle b.handle) !acc
+
 let hold t ~src_group ~dst_group ~until =
   let prev = hold_floor t ~src_group ~dst_group in
   Hashtbl.replace t.holds (src_group, dst_group) (Sim_time.max prev until);
   (* Push back messages already in flight on that link. *)
-  let to_reschedule =
-    Hashtbl.fold
-      (fun h m acc ->
-        if
-          Topology.group_of t.topology m.src = src_group
-          && Topology.group_of t.topology m.dst = dst_group
-        then (h, m) :: acc
-        else acc)
-      t.inflight []
-  in
-  (* Deterministic order: sort by handle. *)
-  let to_reschedule =
-    List.sort (fun (a, _) (b, _) -> Int.compare a b) to_reschedule
-  in
   List.iter
-    (fun (h, m) ->
-      Scheduler.cancel t.sched h;
-      Hashtbl.remove t.inflight h;
+    (fun (i, m) ->
+      Scheduler.cancel t.sched m.handle;
+      release_slot t i;
       schedule_delivery t ~src:m.src ~dst:m.dst ~arrival:until m.payload)
-    to_reschedule
+    (inflight_on_link t ~src_group ~dst_group)
 
 let partition t ~src_group ~dst_group =
   hold t ~src_group ~dst_group ~until:Sim_time.infinity
@@ -105,25 +144,14 @@ let heal t ~src_group ~dst_group =
     Hashtbl.remove t.holds (src_group, dst_group);
     (* Re-schedule everything that was parked on this link with a fresh
        latency sample from the healing instant. *)
-    let parked =
-      Hashtbl.fold
-        (fun h m acc ->
-          if
-            Topology.group_of t.topology m.src = src_group
-            && Topology.group_of t.topology m.dst = dst_group
-          then (h, m) :: acc
-          else acc)
-        t.inflight []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-    in
     List.iter
-      (fun (h, m) ->
-        Scheduler.cancel t.sched h;
-        Hashtbl.remove t.inflight h;
+      (fun (i, m) ->
+        Scheduler.cancel t.sched m.handle;
+        release_slot t i;
         let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
         let arrival = Sim_time.add (Scheduler.now t.sched) delay in
         schedule_delivery t ~src:m.src ~dst:m.dst ~arrival m.payload)
-      parked
+      (inflight_on_link t ~src_group ~dst_group)
   end
 
 let partition_groups t side_a side_b =
@@ -143,22 +171,24 @@ let heal_all t =
     (List.sort compare links)
 
 let drop_inflight t pred =
-  let victims =
-    Hashtbl.fold
-      (fun h m acc -> if pred ~src:m.src ~dst:m.dst then h :: acc else acc)
-      t.inflight []
-  in
+  let victims = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Some m when pred ~src:m.src ~dst:m.dst -> victims := (i, m) :: !victims
+      | _ -> ())
+    t.slots;
   List.iter
-    (fun h ->
-      Scheduler.cancel t.sched h;
-      Hashtbl.remove t.inflight h)
-    victims;
-  List.length victims
+    (fun (i, m) ->
+      Scheduler.cancel t.sched m.handle;
+      release_slot t i)
+    !victims;
+  List.length !victims
 
 let set_send_filter t f = t.send_filter <- f
 let on_send t tap = t.taps <- t.taps @ [ tap ]
 let sent_total t = t.sent_total
 let sent_inter_group t = t.sent_inter
 let sent_intra_group t = t.sent_intra
-let in_flight t = Hashtbl.length t.inflight
+let in_flight t = Array.length t.slots - t.free_top
 let topology t = t.topology

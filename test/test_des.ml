@@ -123,6 +123,52 @@ let test_queue_many () =
     (List.stable_sort Int.compare times)
     out
 
+let test_queue_heavy_cancellation () =
+  (* Cancel 90% of a large queue, then drain: the survivors must come out
+     in (time, insertion) order and the live count must track exactly. *)
+  let q = Event_queue.create () in
+  let n = 1_000 in
+  let handles =
+    Array.init n (fun i -> Event_queue.add q ~time:(Sim_time.of_us (i * 7 mod 400)) i)
+  in
+  let kept = ref [] in
+  Array.iteri
+    (fun i h ->
+      if i mod 10 <> 0 then Event_queue.cancel q h
+      else kept := (i * 7 mod 400, i) :: !kept)
+    handles;
+  Alcotest.(check int) "live count after mass cancel" (List.length !kept)
+    (Event_queue.size q);
+  let rec drain acc =
+    match Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (t, v) -> drain ((Sim_time.to_us t, v) :: acc)
+  in
+  let expected =
+    List.stable_sort
+      (fun (ta, ia) (tb, ib) ->
+        if ta <> tb then Int.compare ta tb else Int.compare ia ib)
+      (List.rev !kept)
+  in
+  Alcotest.(check (list (pair int int))) "survivors in order" expected
+    (drain []);
+  Alcotest.(check int) "empty" 0 (Event_queue.size q);
+  (* Cancelling after the drain must not resurrect anything. *)
+  Array.iter (fun h -> Event_queue.cancel q h) handles;
+  Alcotest.(check int) "still empty" 0 (Event_queue.size q);
+  Alcotest.(check bool) "pop on empty" true (Event_queue.pop q = None)
+
+let test_scheduler_executed_counter () =
+  let s = Scheduler.create () in
+  for i = 1 to 5 do
+    ignore (Scheduler.at s (Sim_time.of_ms i) (fun () -> ()))
+  done;
+  let h = Scheduler.at s (Sim_time.of_ms 6) (fun () -> ()) in
+  Scheduler.cancel s h;
+  Scheduler.run s;
+  Alcotest.(check int) "cancelled actions are not counted" 5
+    (Scheduler.executed s)
+
 let test_scheduler_runs_in_order () =
   let s = Scheduler.create () in
   let log = ref [] in
@@ -194,6 +240,10 @@ let suites =
         Alcotest.test_case "queue FIFO ties" `Quick test_queue_fifo_on_ties;
         Alcotest.test_case "queue cancel" `Quick test_queue_cancel;
         Alcotest.test_case "queue stress" `Quick test_queue_many;
+        Alcotest.test_case "queue heavy cancellation" `Quick
+          test_queue_heavy_cancellation;
+        Alcotest.test_case "scheduler executed counter" `Quick
+          test_scheduler_executed_counter;
         Alcotest.test_case "scheduler order" `Quick
           test_scheduler_runs_in_order;
         Alcotest.test_case "scheduler horizon" `Quick test_scheduler_until;

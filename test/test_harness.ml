@@ -99,6 +99,7 @@ let bad_run () =
     intra_group_msgs = 0;
     end_time = Sim_time.of_ms 10;
     drained = true;
+    events_executed = 0;
   }
 
 let test_checker_detects_duplicate () =
@@ -145,6 +146,7 @@ let test_checker_accepts_clean_run () =
       intra_group_msgs = 0;
       end_time = Sim_time.of_ms 10;
       drained = true;
+      events_executed = 0;
     }
   in
   Util.check_no_violations "clean" (Harness.Checker.check_all r)
@@ -168,6 +170,7 @@ let test_metrics_latency_degree () =
       intra_group_msgs = 0;
       end_time = Sim_time.of_ms 10;
       drained = true;
+      events_executed = 0;
     }
   in
   Alcotest.(check (option int)) "max over deliverers" (Some 2)

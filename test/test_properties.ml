@@ -233,39 +233,70 @@ let prop_fritzke_failure_free s =
 (* ----- Data-structure properties ----- *)
 
 let prop_event_queue_model ops =
-  (* Random add/pop interleavings against a sorted-list model. *)
+  (* Random add/cancel/pop interleavings against a sorted-list model.
+     Handles are issued densely (0, 1, 2, ...), so a raw integer in the
+     cancel op exercises every case: a pending handle, a handle already
+     popped or cancelled (must be a no-op — the "cancel-after-pop" case),
+     an unknown handle, and a negative one. After every op the queue's
+     [size] and [peek_time] must agree with the model. *)
   let q = Event_queue.create () in
   let model = ref [] in
-  let next = ref 0 in
+  (* pending (time_us, handle), insertion order *)
+  let issued = ref 0 in
+  let by_time = List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) in
   List.for_all
     (fun op ->
-      match op with
-      | `Add t ->
-        ignore (Event_queue.add q ~time:(Sim_time.of_us t) !next);
-        model := !model @ [ (t, !next) ];
-        incr next;
-        true
-      | `Pop -> (
-        let expected =
-          match
-            List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) !model
-          with
-          | [] -> None
-          | (t, v) :: _ ->
-            model := List.filter (fun (_, v') -> v' <> v) !model;
-            Some (t, v)
-        in
-        match (Event_queue.pop q, expected) with
-        | None, None -> true
-        | Some (t, v), Some (t', v') -> Sim_time.to_us t = t' && v = v'
-        | _ -> false))
+      let step_ok =
+        match op with
+        | `Add t ->
+          let h = Event_queue.add q ~time:(Sim_time.of_us t) !issued in
+          model := !model @ [ (t, h) ];
+          let dense = h = !issued in
+          incr issued;
+          dense
+        | `Cancel k ->
+          Event_queue.cancel q k;
+          model := List.filter (fun (_, h) -> h <> k) !model;
+          true
+        | `Pop -> (
+          let expected =
+            match by_time !model with
+            | [] -> None
+            | (t, h) :: _ ->
+              model := List.filter (fun (_, h') -> h' <> h) !model;
+              Some (t, h)
+          in
+          match (Event_queue.pop q, expected) with
+          | None, None -> true
+          | Some (t, v), Some (t', h) -> Sim_time.to_us t = t' && v = h
+          | _ -> false)
+      in
+      let size_ok = Event_queue.size q = List.length !model in
+      let peek_ok =
+        Option.map Sim_time.to_us (Event_queue.peek_time q)
+        = (match by_time !model with [] -> None | (t, _) :: _ -> Some t)
+      in
+      step_ok && size_ok && peek_ok)
     ops
 
+let event_queue_op_gen ~add ~cancel ~pop =
+  QCheck2.Gen.frequency
+    [
+      (add, QCheck2.Gen.map (fun t -> `Add t) (QCheck2.Gen.int_bound 1_000));
+      ( cancel,
+        QCheck2.Gen.map (fun k -> `Cancel k) (QCheck2.Gen.int_range (-2) 60)
+      );
+      (pop, QCheck2.Gen.pure `Pop);
+    ]
+
 let event_queue_ops_gen =
-  let open QCheck2.Gen in
-  list_size (int_range 1 60)
-    (frequency
-       [ (3, map (fun t -> `Add t) (int_bound 1_000)); (2, pure `Pop) ])
+  QCheck2.Gen.(
+    list_size (int_range 1 80) (event_queue_op_gen ~add:4 ~cancel:2 ~pop:3))
+
+(* Mostly cancellations: the queue spends its life skipping dead entries. *)
+let event_queue_heavy_cancel_gen =
+  QCheck2.Gen.(
+    list_size (int_range 40 200) (event_queue_op_gen ~add:3 ~cancel:6 ~pop:2))
 
 let prop_rng_int_bounds (seed, bound) =
   let rng = Rng.create seed in
@@ -609,6 +640,9 @@ let suites =
           scenario_gen prop_fritzke_failure_free;
         Util.qcheck_case ~count:100 ~name:"event queue matches model"
           event_queue_ops_gen prop_event_queue_model;
+        Util.qcheck_case ~count:100
+          ~name:"event queue matches model (heavy cancellation)"
+          event_queue_heavy_cancel_gen prop_event_queue_model;
         Util.qcheck_case ~count:50 ~name:"rng bounds"
           QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000))
           prop_rng_int_bounds;
