@@ -35,6 +35,7 @@ type pending = {
   msg : Msg.t;
   mutable ts : int;
   mutable stage : Stage.t;
+  mutable handle : Pending_index.handle; (* slot in the ordered index *)
   proposals : (Topology.gid, int) Hashtbl.t;
       (* timestamp proposals received in (TS, m) messages, per group *)
 }
@@ -47,6 +48,8 @@ type t = {
   mutable k : int; (* K: group-clock copy = next consensus instance *)
   mutable prop_k : int; (* no two proposals for the same instance *)
   pending : pending Msg_id.Tbl.t;
+  ord : pending Pending_index.t; (* pending, ordered by (ts, id) *)
+  proposable : pending Msg_id.Tbl.t; (* the s0/s2 subset of [pending] *)
   adelivered : unit Msg_id.Tbl.t;
   decisions : (int, entry list) Hashtbl.t; (* decided, not yet processed *)
   mutable rm : (Msg.t, wire) Rmcast.Reliable_multicast.t option;
@@ -61,32 +64,47 @@ let cons t = Option.get t.cons
 let other_dest_groups t (m : Msg.t) =
   List.filter (fun g -> g <> t.my_group) m.dest
 
+let sync_proposable t (p : pending) =
+  match p.stage with
+  | Stage.S0 | Stage.S2 -> Msg_id.Tbl.replace t.proposable p.msg.id p
+  | Stage.S1 | Stage.S3 -> Msg_id.Tbl.remove t.proposable p.msg.id
+
+(* Every stage/timestamp transition goes through here so the ordered index
+   and the proposable subset can never drift from the pending table. *)
+let move t (p : pending) ~ts ~stage =
+  if ts <> p.ts then begin
+    p.ts <- ts;
+    p.handle <- Pending_index.reposition t.ord p.handle ~ts ~id:p.msg.id p
+  end;
+  p.stage <- stage;
+  sync_proposable t p
+
 let get_or_create_pending t (m : Msg.t) =
   match Msg_id.Tbl.find_opt t.pending m.id with
   | Some p -> p
   | None ->
     let p =
-      { msg = m; ts = t.k; stage = Stage.S0; proposals = Hashtbl.create 4 }
+      {
+        msg = m;
+        ts = t.k;
+        stage = Stage.S0;
+        handle = -1;
+        proposals = Hashtbl.create 4;
+      }
     in
+    p.handle <- Pending_index.add t.ord ~ts:p.ts ~id:m.id p;
     Msg_id.Tbl.replace t.pending m.id p;
+    sync_proposable t p;
     p
 
 (* Line 4-7: deliver every s3 message whose (ts, id) is minimal among all
-   pending messages (any stage). *)
+   pending messages (any stage). The index keeps that minimum at its root,
+   so each attempt is O(log pending) instead of a full fold. *)
 let adelivery_test t =
   let rec loop () =
-    let minimal =
-      Msg_id.Tbl.fold
-        (fun _ p best ->
-          match best with
-          | None -> Some p
-          | Some q ->
-            if Msg.compare_ts_id (p.ts, p.msg) (q.ts, q.msg) < 0 then Some p
-            else best)
-        t.pending None
-    in
-    match minimal with
-    | Some p when p.stage = Stage.S3 ->
+    match Pending_index.min_elt t.ord with
+    | Some (_, _, p) when p.stage = Stage.S3 ->
+      ignore (Pending_index.pop_min t.ord);
       Msg_id.Tbl.remove t.pending p.msg.id;
       Msg_id.Tbl.replace t.adelivered p.msg.id ();
       t.deliver p.msg;
@@ -95,17 +113,15 @@ let adelivery_test t =
   in
   loop ()
 
-(* Line 14-17: propose all pending s0/s2 messages to instance K. *)
+(* Line 14-17: propose all pending s0/s2 messages to instance K. The
+   [proposable] table holds exactly that subset, so the snapshot is linear
+   in the proposal size, not in the whole pending table. *)
 let try_propose t =
   if t.prop_k <= t.k then begin
     let msg_set =
       Msg_id.Tbl.fold
-        (fun _ p acc ->
-          match p.stage with
-          | Stage.S0 | Stage.S2 ->
-            { msg = p.msg; ts = p.ts; stage = p.stage } :: acc
-          | Stage.S1 | Stage.S3 -> acc)
-        t.pending []
+        (fun _ p acc -> { msg = p.msg; ts = p.ts; stage = p.stage } :: acc)
+        t.proposable []
     in
     if msg_set <> [] then begin
       let msg_set =
@@ -132,12 +148,11 @@ let check_s1 t id =
           min_int others
       in
       if t.config.skip_max_group && p.ts >= max_other then begin
-        p.stage <- Stage.S3; (* second consensus not needed *)
+        move t p ~ts:p.ts ~stage:Stage.S3; (* second consensus not needed *)
         adelivery_test t
       end
       else begin
-        p.ts <- max p.ts max_other;
-        p.stage <- Stage.S2;
+        move t p ~ts:(max p.ts max_other) ~stage:Stage.S2;
         try_propose t
       end
     end
@@ -164,8 +179,7 @@ let rec process_decisions t =
             match e.stage with
             | Stage.S0 ->
               (* Group proposal for m's timestamp is the instance number. *)
-              p.ts <- k;
-              p.stage <- Stage.S1;
+              move t p ~ts:k ~stage:Stage.S1;
               max_ts := max !max_ts k;
               let dest_outside =
                 Topology.pids_of_groups t.services.Services.topology
@@ -176,16 +190,14 @@ let rec process_decisions t =
               moved_to_s1 := e.msg.id :: !moved_to_s1
             | Stage.S2 ->
               (* Clock pushed past the final timestamp: m is ready. *)
-              p.ts <- e.ts;
-              p.stage <- Stage.S3;
+              move t p ~ts:e.ts ~stage:Stage.S3;
               max_ts := max !max_ts e.ts
             | Stage.S1 | Stage.S3 -> assert false
           end
           else begin
             (* Single-group message: its group is the only proposer, the
                instance number is final — straight to s3 (line 28-29). *)
-            p.ts <- k;
-            p.stage <- Stage.S3;
+            move t p ~ts:k ~stage:Stage.S3;
             max_ts := max !max_ts k
           end
         end)
@@ -243,6 +255,8 @@ let create ~services ~config ~deliver =
       k = 1;
       prop_k = 1;
       pending = Msg_id.Tbl.create 64;
+      ord = Pending_index.create ();
+      proposable = Msg_id.Tbl.create 64;
       adelivered = Msg_id.Tbl.create 64;
       decisions = Hashtbl.create 16;
       rm = None;

@@ -35,6 +35,11 @@ type t = {
   mutable prop_k : int;
   mutable barrier : int;
   rdelivered : Msg.t Msg_id.Tbl.t;
+  und : Msg.t Pending_index.t;
+      (* R-Delivered but not yet A-Delivered, ordered by id (all keys 0):
+         the proposal snapshot, linear in the live backlog rather than in
+         every message the run has ever R-Delivered *)
+  und_handles : Pending_index.handle Msg_id.Tbl.t;
   adelivered : unit Msg_id.Tbl.t;
   rounds : (int, round_state) Hashtbl.t;
   mutable rm : (Msg.t, wire) Rmcast.Reliable_multicast.t option;
@@ -55,10 +60,9 @@ let round_state t r =
     s
 
 let undelivered t =
-  Msg_id.Tbl.fold
-    (fun id m acc -> if Msg_id.Tbl.mem t.adelivered id then acc else m :: acc)
-    t.rdelivered []
-  |> List.sort Msg.compare_id
+  List.map (fun (_, _, m) -> m) (Pending_index.to_sorted_list t.und)
+
+let has_undelivered t = not (Pending_index.is_empty t.und)
 
 (* Line 11-13: start round K when there is something to order or the
    barrier says the round must run anyway. A barrier-mandated round with an
@@ -78,7 +82,7 @@ let propose_now t =
 let try_propose t =
   if t.prop_k <= t.k then
     if
-      undelivered t <> []
+      has_undelivered t
       (* Catching up — another group's bundle for this round has already
          arrived (cf. Theorem 5.2's run, where g2 decides instance r as
          soon as it receives g1's bundle): nothing to gain by waiting. *)
@@ -93,7 +97,7 @@ let try_propose t =
                   without our proposal while we were waiting. *)
                if
                  t.prop_k <= t.k
-                 && (undelivered t <> [] || t.k <= t.barrier)
+                 && (has_undelivered t || t.k <= t.barrier)
                then propose_now t))
 
 (* Line 14-23: close round K once our bundle is decided and a bundle from
@@ -126,6 +130,11 @@ let rec maybe_finish_round t =
       List.iter
         (fun (m : Msg.t) ->
           Msg_id.Tbl.replace t.adelivered m.id ();
+          (match Msg_id.Tbl.find_opt t.und_handles m.id with
+          | Some h ->
+            Pending_index.remove t.und h;
+            Msg_id.Tbl.remove t.und_handles m.id
+          | None -> ());
           t.deliver m)
         to_deliver;
       Hashtbl.remove t.rounds t.k;
@@ -153,6 +162,9 @@ let rec maybe_finish_round t =
 let on_rdeliver t (m : Msg.t) =
   if not (Msg_id.Tbl.mem t.rdelivered m.id) then begin
     Msg_id.Tbl.replace t.rdelivered m.id m;
+    if not (Msg_id.Tbl.mem t.adelivered m.id) then
+      Msg_id.Tbl.replace t.und_handles m.id
+        (Pending_index.add t.und ~ts:0 ~id:m.id m);
     try_propose t
   end
 
@@ -212,6 +224,8 @@ let create ~services ~config ~deliver =
       prop_k = 1;
       barrier = 0;
       rdelivered = Msg_id.Tbl.create 64;
+      und = Pending_index.create ();
+      und_handles = Msg_id.Tbl.create 64;
       adelivered = Msg_id.Tbl.create 64;
       rounds = Hashtbl.create 16;
       rm = None;

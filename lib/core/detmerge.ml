@@ -15,7 +15,8 @@ type t = {
   null_period : Des.Sim_time.t;
   mutable own_ts : int; (* publisher stream position *)
   last_ts : int array; (* per-publisher stream watermark *)
-  buffer : (int * Msg.t) Msg_id.Tbl.t; (* (publisher ts, message) *)
+  ord : Msg.t Pending_index.t; (* buffered, ordered by (publisher ts, id) *)
+  buffered : Pending_index.handle Msg_id.Tbl.t; (* membership + handles *)
   delivered : unit Msg_id.Tbl.t;
 }
 
@@ -23,26 +24,36 @@ let watermark t = Array.fold_left min max_int t.last_ts
 
 (* Deliver buffered messages up to the watermark, in (ts, publisher)
    order. Any future message from publisher q carries ts > last_ts.(q) >=
-   watermark, so nothing can sneak in below. *)
+   watermark, so nothing can sneak in below. The index pops them in key
+   order directly, so a flush costs O(log buffered) per delivered message
+   instead of a fold over the whole buffer. *)
 let merge_flush t =
   let wm = watermark t in
-  let ready =
-    Msg_id.Tbl.fold
-      (fun _ (ts, m) acc -> if ts <= wm then (ts, m) :: acc else acc)
-      t.buffer []
-    |> List.sort Msg.compare_ts_id
-  in
-  List.iter
-    (fun ((_, m) : int * Msg.t) ->
-      Msg_id.Tbl.remove t.buffer m.id;
+  let rec loop () =
+    match Pending_index.min_elt t.ord with
+    | Some (ts, _, m) when ts <= wm ->
+      ignore (Pending_index.pop_min t.ord);
+      Msg_id.Tbl.remove t.buffered m.id;
       if not (Msg_id.Tbl.mem t.delivered m.id) then begin
         Msg_id.Tbl.replace t.delivered m.id ();
         if
           Msg.addressed_to_pid t.services.Services.topology m
             t.services.Services.self
         then t.deliver m
-      end)
-    ready
+      end;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let buffer_msg t ~ts (m : Msg.t) =
+  match Msg_id.Tbl.find_opt t.buffered m.id with
+  | Some h ->
+    Msg_id.Tbl.replace t.buffered m.id
+      (Pending_index.reposition t.ord h ~ts ~id:m.id m)
+  | None ->
+    Msg_id.Tbl.replace t.buffered m.id
+      (Pending_index.add t.ord ~ts ~id:m.id m)
 
 let advance t ~publisher ~ts =
   if ts > t.last_ts.(publisher) then begin
@@ -71,16 +82,16 @@ let cast t (m : Msg.t) =
       if q <> self then
         t.services.Services.send ~dst:q (Pub { msg = m; ts = t.own_ts }))
     (Msg.dest_pids t.services.Services.topology m);
-  Msg_id.Tbl.replace t.buffer m.id (t.own_ts, m);
+  buffer_msg t ~ts:t.own_ts m;
   advance t ~publisher:self ~ts:t.own_ts
 
 let on_receive t ~src w =
   match w with
   | Pub { msg; ts } ->
     if
-      (not (Msg_id.Tbl.mem t.buffer msg.id))
+      (not (Msg_id.Tbl.mem t.buffered msg.id))
       && not (Msg_id.Tbl.mem t.delivered msg.id)
-    then Msg_id.Tbl.replace t.buffer msg.id (ts, msg);
+    then buffer_msg t ~ts msg;
     advance t ~publisher:src ~ts
   | Null { ts } -> advance t ~publisher:src ~ts
 
@@ -105,7 +116,8 @@ let create ~services ~config ~deliver =
       own_ts = 0;
       last_ts =
         Array.make (Topology.n_processes services.Services.topology) 0;
-      buffer = Msg_id.Tbl.create 32;
+      ord = Pending_index.create ();
+      buffered = Msg_id.Tbl.create 32;
       delivered = Msg_id.Tbl.create 32;
     }
   in

@@ -14,6 +14,8 @@ type pending = {
   own_ts : int;
   stamps : (Topology.pid, int) Hashtbl.t;
   mutable final : int option;
+  mutable handle : Pending_index.handle;
+      (* slot in [ord]; keyed by own_ts until finalised, then by final *)
 }
 
 type t = {
@@ -21,6 +23,10 @@ type t = {
   deliver : Msg.t -> unit;
   mutable clock : int;
   pending : pending Msg_id.Tbl.t;
+  ord : pending Pending_index.t;
+      (* pending ordered by the lower bound of each message's final
+         timestamp: own_ts while unfinalised (the final is at least the
+         own stamp), the final stamp once known *)
   delivered : unit Msg_id.Tbl.t;
   early_stamps : (Topology.pid * int) list Msg_id.Tbl.t;
       (* stamps that outran their Data message (triangle inequality does
@@ -29,39 +35,22 @@ type t = {
 
 (* Deliver every finalised message whose (final, id) is minimal: no other
    finalised message precedes it, and no unfinalised message could still
-   get a smaller final stamp (its final is at least its own stamp here). *)
+   get a smaller final stamp (its final is at least its own stamp here).
+   With the index keyed by that lower bound, both conditions collapse into
+   one question about the root: a finalised root is deliverable (nothing —
+   finalised or not — can precede it), an unfinalised root blocks
+   delivery (whatever the minimal finalised message is, the root could
+   still finalise below it). *)
 let delivery_test t =
   let rec loop () =
-    let best =
-      Msg_id.Tbl.fold
-        (fun _ p best ->
-          match p.final with
-          | None -> best
-          | Some f -> (
-            match best with
-            | Some (f', p') when Msg.compare_ts_id (f', p'.msg) (f, p.msg) < 0
-              ->
-              best
-            | _ -> Some (f, p)))
-        t.pending None
-    in
-    match best with
-    | None -> ()
-    | Some (f, p) ->
-      let blocked =
-        Msg_id.Tbl.fold
-          (fun _ q acc ->
-            acc
-            || q.final = None
-               && Msg.compare_ts_id (q.own_ts, q.msg) (f, p.msg) < 0)
-          t.pending false
-      in
-      if not blocked then begin
-        Msg_id.Tbl.remove t.pending p.msg.id;
-        Msg_id.Tbl.replace t.delivered p.msg.id ();
-        t.deliver p.msg;
-        loop ()
-      end
+    match Pending_index.min_elt t.ord with
+    | Some (_, _, p) when p.final <> None ->
+      ignore (Pending_index.pop_min t.ord);
+      Msg_id.Tbl.remove t.pending p.msg.id;
+      Msg_id.Tbl.replace t.delivered p.msg.id ();
+      t.deliver p.msg;
+      loop ()
+    | Some _ | None -> ()
   in
   loop ()
 
@@ -71,6 +60,7 @@ let maybe_finalize t p =
     if List.for_all (fun q -> Hashtbl.mem p.stamps q) addressees then begin
       let f = Hashtbl.fold (fun _ ts acc -> max acc ts) p.stamps 0 in
       p.final <- Some f;
+      p.handle <- Pending_index.reposition t.ord p.handle ~ts:f ~id:p.msg.id p;
       t.clock <- max t.clock f;
       delivery_test t
     end
@@ -83,8 +73,15 @@ let on_data t (m : Msg.t) =
   then begin
     t.clock <- t.clock + 1;
     let p =
-      { msg = m; own_ts = t.clock; stamps = Hashtbl.create 8; final = None }
+      {
+        msg = m;
+        own_ts = t.clock;
+        stamps = Hashtbl.create 8;
+        final = None;
+        handle = -1;
+      }
     in
+    p.handle <- Pending_index.add t.ord ~ts:p.own_ts ~id:m.id p;
     Hashtbl.replace p.stamps t.services.Services.self t.clock;
     (match Msg_id.Tbl.find_opt t.early_stamps m.id with
     | Some stamps ->
@@ -137,6 +134,7 @@ let create ~services ~config:_ ~deliver =
     deliver;
     clock = 0;
     pending = Msg_id.Tbl.create 32;
+    ord = Pending_index.create ();
     delivered = Msg_id.Tbl.create 32;
     early_stamps = Msg_id.Tbl.create 8;
   }

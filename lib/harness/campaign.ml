@@ -78,7 +78,8 @@ let faults_for s topo =
       (Topology.all_groups topo)
   end
 
-let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false) s =
+let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false)
+    ?(check_causal = false) ?(check_quiescence = false) s =
   let module R = Runner.Make (P) in
   let topo = Topology.symmetric ~groups:s.groups ~per_group:s.per_group in
   let latency = if s.jitter then Latency.wan_default else Latency.lan_only in
@@ -96,8 +97,9 @@ let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false) s =
   {
     scenario = s;
     violations =
-      Checker.check_all ~expect_genuine:(expect_genuine && not s.with_crashes)
-        r;
+      Checker.check_all
+        ~expect_genuine:(expect_genuine && not s.with_crashes)
+        ~check_causal ~check_quiescence r;
     delivered = Metrics.delivered_count r;
     max_degree = Metrics.max_latency_degree r;
     drained = r.drained;
@@ -117,28 +119,31 @@ let summarize outcomes =
     total_steps = List.fold_left (fun acc o -> acc + o.steps) 0 outcomes;
   }
 
-let run_scenarios proto ?expect_genuine ss =
-  List.map (run_one proto ?expect_genuine) ss
+let run_scenarios proto ?expect_genuine ?check_causal ?check_quiescence ss =
+  List.map (run_one proto ?expect_genuine ?check_causal ?check_quiescence) ss
 
 (* Each scenario owns its seed, so runs are independent; the pool writes
    outcome [i] at index [i], so the outcome list — and therefore the
    summary — is bit-identical to the sequential driver's for any domain
    count. *)
-let run_scenarios_parallel proto ?expect_genuine ?domains ss =
+let run_scenarios_parallel proto ?expect_genuine ?check_causal
+    ?check_quiescence ?domains ss =
   Pool.map ?domains
-    (fun s -> run_one proto ?expect_genuine s)
+    (fun s -> run_one proto ?expect_genuine ?check_causal ?check_quiescence s)
     (Array.of_list ss)
   |> Array.to_list
 
-let run proto ?expect_genuine ?broadcast_only ?with_crashes ~seed ~runs () =
+let run proto ?expect_genuine ?check_causal ?check_quiescence
+    ?broadcast_only ?with_crashes ~seed ~runs () =
   scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
-  |> run_scenarios proto ?expect_genuine
+  |> run_scenarios proto ?expect_genuine ?check_causal ?check_quiescence
   |> summarize
 
-let run_parallel proto ?expect_genuine ?broadcast_only ?with_crashes ?domains
-    ~seed ~runs () =
+let run_parallel proto ?expect_genuine ?check_causal ?check_quiescence
+    ?broadcast_only ?with_crashes ?domains ~seed ~runs () =
   scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
-  |> run_scenarios_parallel proto ?expect_genuine ?domains
+  |> run_scenarios_parallel proto ?expect_genuine ?check_causal
+       ?check_quiescence ?domains
   |> summarize
 
 let pp_scenario ppf s =

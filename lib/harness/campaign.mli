@@ -58,11 +58,18 @@ val scenarios :
     both {!run} and {!run_parallel} execute. *)
 
 val run_one :
-  (module Amcast.Protocol.S) -> ?expect_genuine:bool -> scenario -> outcome
+  (module Amcast.Protocol.S) ->
+  ?expect_genuine:bool ->
+  ?check_causal:bool ->
+  ?check_quiescence:bool ->
+  scenario ->
+  outcome
 
 val run_scenarios :
   (module Amcast.Protocol.S) ->
   ?expect_genuine:bool ->
+  ?check_causal:bool ->
+  ?check_quiescence:bool ->
   scenario list ->
   outcome list
 (** Runs a fixed scenario list sequentially, outcomes in scenario order. *)
@@ -70,6 +77,8 @@ val run_scenarios :
 val run_scenarios_parallel :
   (module Amcast.Protocol.S) ->
   ?expect_genuine:bool ->
+  ?check_causal:bool ->
+  ?check_quiescence:bool ->
   ?domains:int ->
   scenario list ->
   outcome list
@@ -81,6 +90,8 @@ val summarize : outcome list -> summary
 val run :
   (module Amcast.Protocol.S) ->
   ?expect_genuine:bool ->
+  ?check_causal:bool ->
+  ?check_quiescence:bool ->
   ?broadcast_only:bool ->
   ?with_crashes:bool ->
   seed:int ->
@@ -91,6 +102,8 @@ val run :
 val run_parallel :
   (module Amcast.Protocol.S) ->
   ?expect_genuine:bool ->
+  ?check_causal:bool ->
+  ?check_quiescence:bool ->
   ?broadcast_only:bool ->
   ?with_crashes:bool ->
   ?domains:int ->

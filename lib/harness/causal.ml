@@ -109,6 +109,50 @@ let latency_degree t id =
           | Some a, None -> Some a)
         None ds)
 
+(* All-pairs cast reachability as bitset rows: one [distances] pass per
+   cast root instead of one per ordered pair, so building the whole
+   relation costs O(casts * trace) rather than O(casts^2 * trace). Rows
+   pack 63 cast indices per word, which lets the causal checker intersect
+   "everything this cast precedes" with "everything delivered so far" a
+   word at a time. *)
+
+type reachability = {
+  r_ids : Msg_id.t array;
+  r_index : (Msg_id.t, int) Hashtbl.t;
+  r_words : int;
+  r_succ : int array array;
+}
+
+let cast_reachability t ids =
+  let dedup = Hashtbl.create 16 in
+  let nodes = ref [] in
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem dedup id) then begin
+        Hashtbl.replace dedup id ();
+        match Hashtbl.find_opt t.casts id with
+        | Some node -> nodes := (id, node) :: !nodes
+        | None -> ()
+      end)
+    ids;
+  let pairs = Array.of_list (List.rev !nodes) in
+  let n = Array.length pairs in
+  let r_ids = Array.map fst pairs in
+  let r_index = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i id -> Hashtbl.replace r_index id i) r_ids;
+  let r_words = (n + 62) / 63 in
+  let r_succ = Array.init n (fun _ -> Array.make r_words 0) in
+  for i = 0 to n - 1 do
+    let _, root = pairs.(i) in
+    let dist = distances t root in
+    let row = r_succ.(i) in
+    for j = 0 to n - 1 do
+      if j <> i && dist.(snd pairs.(j)) <> None then
+        row.(j / 63) <- row.(j / 63) lor (1 lsl (j mod 63))
+    done
+  done;
+  { r_ids; r_index; r_words; r_succ }
+
 let causally_precedes t a b =
   match (Hashtbl.find_opt t.casts a, Hashtbl.find_opt t.casts b) with
   | Some ra, Some rb ->

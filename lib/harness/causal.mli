@@ -35,4 +35,22 @@ val latency_degree : t -> Runtime.Msg_id.t -> int option
 val causally_precedes :
   t -> Runtime.Msg_id.t -> Runtime.Msg_id.t -> bool
 (** [causally_precedes t a b] is whether the A-XCast of [a] happened-before
-    the A-XCast of [b]. *)
+    the A-XCast of [b]. Each query runs a full DAG traversal; for all-pairs
+    questions build a {!reachability} instead. *)
+
+type reachability = {
+  r_ids : Runtime.Msg_id.t array;  (** Cast ids, in index order. *)
+  r_index : (Runtime.Msg_id.t, int) Hashtbl.t;  (** Id -> index. *)
+  r_words : int;  (** Words per row; 63 indices per word. *)
+  r_succ : int array array;
+      (** Row [a]: bit [b] set iff the A-XCast of [r_ids.(a)]
+          happened-before the A-XCast of [r_ids.(b)]. *)
+}
+(** The happened-before relation restricted to A-XCast events, as one
+    bitset row per cast. *)
+
+val cast_reachability : t -> Runtime.Msg_id.t list -> reachability
+(** [cast_reachability t ids] builds the relation over the (deduplicated)
+    ids that were actually cast, with one DAG traversal per cast — O(casts
+    * trace) total, versus O(casts^2 * trace) for pairwise
+    {!causally_precedes} queries. *)

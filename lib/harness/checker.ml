@@ -72,63 +72,214 @@ let uniform_agreement (r : Run_result.t) =
           :: acc)
       delivered_somewhere []
 
-(* Projected prefix order: for each pair (p, q), restrict both sequences to
-   the messages addressed to both p's and q's group, and require one to be
-   a prefix of the other. *)
-let uniform_prefix_order (r : Run_result.t) =
-  let pids = Topology.all_pids r.topology in
-  let seqs =
-    List.map (fun p -> (p, Array.of_list (Run_result.sequence_of r p))) pids
-  in
-  let project gp gq seq =
-    Array.to_list seq
-    |> List.filter (fun (m : Amcast.Msg.t) ->
-           Amcast.Msg.addressed_to_group m gp
-           && Amcast.Msg.addressed_to_group m gq)
-  in
-  let rec is_prefix a b =
-    match (a, b) with
-    | [], _ -> true
-    | _, [] -> false
-    | x :: a', y :: b' -> Amcast.Msg.equal_id x y && is_prefix a' b'
-  in
-  let violations = ref [] in
-  List.iter
-    (fun (p, sp) ->
-      List.iter
-        (fun (q, sq) ->
-          if p < q then begin
-            let gp = Topology.group_of r.topology p in
-            let gq = Topology.group_of r.topology q in
-            let pp_ = project gp gq sp in
-            let pq = project gp gq sq in
-            if not (is_prefix pp_ pq || is_prefix pq pp_) then
-              violations :=
-                Fmt.str
-                  "prefix order violated between p%d [%a] and p%d [%a]" p
-                  Fmt.(list ~sep:(any " ") Amcast.Msg.pp)
-                  pp_ q
-                  Fmt.(list ~sep:(any " ") Amcast.Msg.pp)
-                  pq
-                :: !violations
-          end)
-        seqs)
-    seqs;
-  !violations
+(* Naive reference implementations, retained verbatim as differential
+   oracles for the indexed fast paths below (and as the fallback that
+   reproduces the exact violation strings once a fast path detects a
+   violation). Quadratic in processes / casts — fine for unit tests,
+   not for soak-scale traces. *)
+module Reference = struct
+  (* Projected prefix order: for each pair (p, q), restrict both sequences
+     to the messages addressed to both p's and q's group, and require one
+     to be a prefix of the other. *)
+  let uniform_prefix_order (r : Run_result.t) =
+    let pids = Topology.all_pids r.topology in
+    let seqs =
+      List.map (fun p -> (p, Array.of_list (Run_result.sequence_of r p))) pids
+    in
+    let project gp gq seq =
+      Array.to_list seq
+      |> List.filter (fun (m : Amcast.Msg.t) ->
+             Amcast.Msg.addressed_to_group m gp
+             && Amcast.Msg.addressed_to_group m gq)
+    in
+    let rec is_prefix a b =
+      match (a, b) with
+      | [], _ -> true
+      | _, [] -> false
+      | x :: a', y :: b' -> Amcast.Msg.equal_id x y && is_prefix a' b'
+    in
+    let violations = ref [] in
+    List.iter
+      (fun (p, sp) ->
+        List.iter
+          (fun (q, sq) ->
+            if p < q then begin
+              let gp = Topology.group_of r.topology p in
+              let gq = Topology.group_of r.topology q in
+              let pp_ = project gp gq sp in
+              let pq = project gp gq sq in
+              if not (is_prefix pp_ pq || is_prefix pq pp_) then
+                violations :=
+                  Fmt.str
+                    "prefix order violated between p%d [%a] and p%d [%a]" p
+                    Fmt.(list ~sep:(any " ") Amcast.Msg.pp)
+                    pp_ q
+                    Fmt.(list ~sep:(any " ") Amcast.Msg.pp)
+                    pq
+                  :: !violations
+            end)
+          seqs)
+      seqs;
+    !violations
 
-let genuineness (r : Run_result.t) =
-  let allowed =
+  let genuineness (r : Run_result.t) =
+    let allowed =
+      List.fold_left
+        (fun acc (c : Run_result.cast_event) ->
+          List.fold_left
+            (fun acc p -> p :: acc)
+            (c.origin :: acc)
+            (Amcast.Msg.dest_pids r.topology c.msg))
+        [] r.casts
+      |> List.sort_uniq Int.compare
+    in
+    let check pid role time acc =
+      if List.mem pid allowed then acc
+      else
+        Fmt.str
+          "genuineness: p%d %s a message at %a but is neither caster nor \
+           addressee of any cast"
+          pid role Des.Sim_time.pp time
+        :: acc
+    in
     List.fold_left
-      (fun acc (c : Run_result.cast_event) ->
-        List.fold_left
-          (fun acc p -> p :: acc)
-          (c.origin :: acc)
-          (Amcast.Msg.dest_pids r.topology c.msg))
-      [] r.casts
-    |> List.sort_uniq Int.compare
+      (fun acc entry ->
+        match entry with
+        | Trace.Send { src; dst; time; _ } ->
+          check src "sent" time (check dst "was sent" time acc)
+        | _ -> acc)
+      []
+      (Trace.entries r.trace)
+    |> List.sort_uniq String.compare
+
+  (* Causal order: cast(m1) -> cast(m2) implies m1 before m2 at every
+     process delivering both. Pairwise over cast messages using the
+     happened-before DAG reconstructed from the trace. *)
+  let causal_delivery_order (r : Run_result.t) =
+    let causal = Causal.of_trace r.trace in
+    let ids =
+      List.map
+        (fun (c : Run_result.cast_event) -> c.msg.Amcast.Msg.id)
+        r.casts
+    in
+    let position_of seq id =
+      let rec find i = function
+        | [] -> None
+        | (m : Amcast.Msg.t) :: rest ->
+          if Msg_id.equal m.id id then Some i else find (i + 1) rest
+      in
+      find 0 seq
+    in
+    let violations = ref [] in
+    List.iter
+      (fun id1 ->
+        List.iter
+          (fun id2 ->
+            if
+              (not (Msg_id.equal id1 id2))
+              && Causal.causally_precedes causal id1 id2
+            then
+              List.iter
+                (fun p ->
+                  let seq = Run_result.sequence_of r p in
+                  match (position_of seq id1, position_of seq id2) with
+                  | Some i1, Some i2 when i2 < i1 ->
+                    violations :=
+                      Fmt.str
+                        "causal order: p%d delivered %a before %a although \
+                         cast(%a) happened-before cast(%a)"
+                        p Msg_id.pp id2 Msg_id.pp id1 Msg_id.pp id1
+                        Msg_id.pp id2
+                      :: !violations
+                  | _ -> ())
+                (Topology.all_pids r.topology))
+          ids)
+      ids;
+    !violations
+end
+
+(* Indexed prefix-order check, O(groups^2 * deliveries) instead of
+   O(pids^2 * deliveries): for each unordered group pair, project every
+   member's delivery sequence once, sort the projections by length and
+   prefix-compare consecutive pairs only. Sound and complete for
+   *detection*:
+
+   - all consecutive pairs prefix-related => all pairs prefix-related
+     (length-sorted prefixes chain by transitivity), which covers every
+     cross-group pid pair the naive checker tests;
+   - a same-group pair failing on the (ga, gb) projection implies the
+     same pair fails on the coarser (ga, ga) projection too (projection
+     preserves the prefix relation), which the naive checker also flags.
+
+   On detection we fall back to the reference checker so callers see the
+   exact same violation strings the naive implementation produces. *)
+let uniform_prefix_order (r : Run_result.t) =
+  let idx = Run_result.index r in
+  let groups = Topology.all_groups r.topology in
+  let project ga gb pid =
+    let seq = idx.Run_result.seqs.(pid) in
+    let keep (m : Amcast.Msg.t) =
+      Amcast.Msg.addressed_to_group m ga && Amcast.Msg.addressed_to_group m gb
+    in
+    let n = ref 0 in
+    Array.iter (fun m -> if keep m then incr n) seq;
+    let out = Array.make !n (Runtime.Msg_id.make ~origin:0 ~seq:0) in
+    let w = ref 0 in
+    Array.iter
+      (fun (m : Amcast.Msg.t) ->
+        if keep m then begin
+          out.(!w) <- m.Amcast.Msg.id;
+          incr w
+        end)
+      seq;
+    out
   in
+  let is_prefix (a : Msg_id.t array) (b : Msg_id.t array) =
+    (* caller guarantees |a| <= |b| *)
+    let ok = ref true in
+    Array.iteri (fun i x -> if !ok && not (Msg_id.equal x b.(i)) then ok := false) a;
+    !ok
+  in
+  let violated = ref false in
+  List.iter
+    (fun ga ->
+      List.iter
+        (fun gb ->
+          if (not !violated) && ga <= gb then begin
+            let members =
+              Topology.members r.topology ga
+              @ (if ga = gb then [] else Topology.members r.topology gb)
+            in
+            let projs = List.map (project ga gb) members in
+            let sorted =
+              List.sort
+                (fun a b -> Int.compare (Array.length a) (Array.length b))
+                projs
+            in
+            let rec chain = function
+              | a :: (b :: _ as rest) ->
+                if is_prefix a b then chain rest else violated := true
+              | [ _ ] | [] -> ()
+            in
+            chain sorted
+          end)
+        groups)
+    groups;
+  if !violated then Reference.uniform_prefix_order r else []
+
+(* Indexed genuineness: the allowed set as a per-pid bool array, so each
+   trace entry costs O(1) instead of a List.mem over the allowed list. *)
+let genuineness (r : Run_result.t) =
+  let allowed = Array.make (Topology.n_processes r.topology) false in
+  List.iter
+    (fun (c : Run_result.cast_event) ->
+      allowed.(c.origin) <- true;
+      List.iter
+        (fun p -> allowed.(p) <- true)
+        (Amcast.Msg.dest_pids r.topology c.msg))
+    r.casts;
   let check pid role time acc =
-    if List.mem pid allowed then acc
+    if allowed.(pid) then acc
     else
       Fmt.str
         "genuineness: p%d %s a message at %a but is neither caster nor \
@@ -146,54 +297,61 @@ let genuineness (r : Run_result.t) =
     (Trace.entries r.trace)
   |> List.sort_uniq String.compare
 
-(* Causal order: cast(m1) -> cast(m2) implies m1 before m2 at every
-   process delivering both. Pairwise over cast messages using the
-   happened-before DAG reconstructed from the trace. *)
+(* Indexed causal order: build the all-pairs cast reachability bitsets
+   once, then scan each delivery sequence left to right keeping a "seen"
+   bitset — a delivery of [m] whose successor row intersects [seen] is a
+   violation (some causally later message was delivered first). Total
+   cost O(casts * trace + deliveries * casts/63) instead of
+   O(casts^2 * trace). *)
 let causal_delivery_order (r : Run_result.t) =
   let causal = Causal.of_trace r.trace in
   let ids =
     List.map (fun (c : Run_result.cast_event) -> c.msg.Amcast.Msg.id) r.casts
   in
-  let position_of seq id =
-    let rec find i = function
-      | [] -> None
-      | (m : Amcast.Msg.t) :: rest ->
-        if Msg_id.equal m.id id then Some i else find (i + 1) rest
-    in
-    find 0 seq
-  in
+  let reach = Causal.cast_reachability causal ids in
+  let idx = Run_result.index r in
+  let words = reach.Causal.r_words in
   let violations = ref [] in
-  List.iter
-    (fun id1 ->
-      List.iter
-        (fun id2 ->
-          if
-            (not (Msg_id.equal id1 id2))
-            && Causal.causally_precedes causal id1 id2
-          then
-            List.iter
-              (fun p ->
-                let seq = Run_result.sequence_of r p in
-                match (position_of seq id1, position_of seq id2) with
-                | Some i1, Some i2 when i2 < i1 ->
-                  violations :=
-                    Fmt.str
-                      "causal order: p%d delivered %a before %a although \
-                       cast(%a) happened-before cast(%a)"
-                      p Msg_id.pp id2 Msg_id.pp id1 Msg_id.pp id1 Msg_id.pp
-                      id2
-                    :: !violations
-                | _ -> ())
-              (Topology.all_pids r.topology))
-        ids)
-    ids;
+  Array.iteri
+    (fun p seq ->
+      let seen = Array.make words 0 in
+      Array.iter
+        (fun (m : Amcast.Msg.t) ->
+          match Hashtbl.find_opt reach.Causal.r_index m.Amcast.Msg.id with
+          | None -> ()
+          | Some ia ->
+            if seen.(ia / 63) land (1 lsl (ia mod 63)) = 0 then begin
+              let row = reach.Causal.r_succ.(ia) in
+              for w = 0 to words - 1 do
+                let inter = row.(w) land seen.(w) in
+                if inter <> 0 then
+                  for b = 0 to 62 do
+                    if inter land (1 lsl b) <> 0 then begin
+                      let id2 = reach.Causal.r_ids.((w * 63) + b) in
+                      violations :=
+                        Fmt.str
+                          "causal order: p%d delivered %a before %a \
+                           although cast(%a) happened-before cast(%a)"
+                          p Msg_id.pp id2 Msg_id.pp m.Amcast.Msg.id
+                          Msg_id.pp m.Amcast.Msg.id Msg_id.pp id2
+                        :: !violations
+                    end
+                  done
+              done;
+              seen.(ia / 63) <- seen.(ia / 63) lor (1 lsl (ia mod 63))
+            end)
+        seq)
+    idx.Run_result.seqs;
   !violations
 
 let quiescence (r : Run_result.t) =
   if r.drained then []
   else [ "run did not drain: the deployment kept scheduling events" ]
 
-let check_all ?(expect_genuine = false) r =
+let check_all ?(expect_genuine = false) ?(check_causal = false)
+    ?(check_quiescence = false) r =
   uniform_integrity r @ validity r @ uniform_agreement r
   @ uniform_prefix_order r
-  @ if expect_genuine then genuineness r else []
+  @ (if expect_genuine then genuineness r else [])
+  @ (if check_causal then causal_delivery_order r else [])
+  @ if check_quiescence then quiescence r else []

@@ -50,6 +50,27 @@ val causal_delivery_order : Run_result.t -> violation list
     same-origin messages in one round are ordered by sequence number), so
     the A2 suites check it as a derived guarantee. Requires the trace. *)
 
-val check_all : ?expect_genuine:bool -> Run_result.t -> violation list
+val check_all :
+  ?expect_genuine:bool ->
+  ?check_causal:bool ->
+  ?check_quiescence:bool ->
+  Run_result.t ->
+  violation list
 (** Integrity + validity + agreement + prefix order, plus genuineness when
-    [expect_genuine] (default false). *)
+    [expect_genuine], causal delivery order when [check_causal] and
+    quiescence when [check_quiescence] (all default false). [check_causal]
+    needs the trace; [check_quiescence] only makes sense on runs executed
+    without a horizon by a protocol that stops scheduling when idle. *)
+
+(** The pre-index quadratic checkers, kept verbatim as differential
+    oracles for the fast paths above: on every run, each reference checker
+    and its indexed replacement must find the same violation set (the
+    property suite asserts this on randomised runs, [verify_bench] on
+    soak-scale ones). The fast prefix check also falls back to
+    {!Reference.uniform_prefix_order} once it detects a violation, so the
+    violation strings match byte for byte. *)
+module Reference : sig
+  val uniform_prefix_order : Run_result.t -> violation list
+  val genuineness : Run_result.t -> violation list
+  val causal_delivery_order : Run_result.t -> violation list
+end

@@ -14,6 +14,14 @@ type delivery_event = {
   lc : Lclock.t;
 }
 
+type index = {
+  correct_arr : bool array; (* pid -> not crashed *)
+  seqs : Amcast.Msg.t array array; (* pid -> delivery sequence, oldest first *)
+  pos : int array Runtime.Msg_id.Tbl.t;
+      (* id -> per-pid position of the first delivery, -1 = never *)
+  casts_by_id : cast_event Runtime.Msg_id.Tbl.t; (* first cast wins *)
+}
+
 type t = {
   topology : Topology.t;
   casts : cast_event list;
@@ -25,19 +33,84 @@ type t = {
   end_time : Des.Sim_time.t;
   drained : bool;
   events_executed : int;
+  mutable index_memo : index option;
 }
 
-let correct t pid = not (List.mem pid t.crashed)
+let make ~topology ~casts ~deliveries ~crashed ~trace ~inter_group_msgs
+    ~intra_group_msgs ~end_time ~drained ~events_executed () =
+  {
+    topology;
+    casts;
+    deliveries;
+    crashed;
+    trace;
+    inter_group_msgs;
+    intra_group_msgs;
+    end_time;
+    drained;
+    events_executed;
+    index_memo = None;
+  }
 
-let sequence_of t pid =
-  List.filter_map
-    (fun d -> if d.pid = pid then Some d.msg else None)
-    t.deliveries
+(* One pass over casts + deliveries builds every per-run lookup the
+   checkers need; [index] memoises it so the whole checker suite shares a
+   single construction. *)
+let build_index t =
+  let n = Topology.n_processes t.topology in
+  let correct_arr = Array.make n true in
+  List.iter
+    (fun pid -> if pid >= 0 && pid < n then correct_arr.(pid) <- false)
+    t.crashed;
+  let casts_by_id = Runtime.Msg_id.Tbl.create 64 in
+  List.iter
+    (fun (c : cast_event) ->
+      let id = c.msg.Amcast.Msg.id in
+      if not (Runtime.Msg_id.Tbl.mem casts_by_id id) then
+        Runtime.Msg_id.Tbl.replace casts_by_id id c)
+    t.casts;
+  let counts = Array.make n 0 in
+  List.iter (fun (d : delivery_event) -> counts.(d.pid) <- counts.(d.pid) + 1)
+    t.deliveries;
+  let seqs =
+    Array.init n (fun pid ->
+        Array.make counts.(pid)
+          (Amcast.Msg.make
+             ~id:(Runtime.Msg_id.make ~origin:0 ~seq:0)
+             ~dest:[ 0 ] ""))
+  in
+  let fill = Array.make n 0 in
+  let pos = Runtime.Msg_id.Tbl.create 64 in
+  List.iter
+    (fun (d : delivery_event) ->
+      let id = d.msg.Amcast.Msg.id in
+      let i = fill.(d.pid) in
+      seqs.(d.pid).(i) <- d.msg;
+      fill.(d.pid) <- i + 1;
+      let row =
+        match Runtime.Msg_id.Tbl.find_opt pos id with
+        | Some row -> row
+        | None ->
+          let row = Array.make n (-1) in
+          Runtime.Msg_id.Tbl.replace pos id row;
+          row
+      in
+      if row.(d.pid) < 0 then row.(d.pid) <- i)
+    t.deliveries;
+  { correct_arr; seqs; pos; casts_by_id }
 
-let cast_of t id =
-  List.find_opt
-    (fun (c : cast_event) -> Runtime.Msg_id.equal c.msg.Amcast.Msg.id id)
-    t.casts
+let index t =
+  match t.index_memo with
+  | Some idx -> idx
+  | None ->
+    let idx = build_index t in
+    t.index_memo <- Some idx;
+    idx
+
+let correct t pid = (index t).correct_arr.(pid)
+
+let sequence_of t pid = Array.to_list (index t).seqs.(pid)
+
+let cast_of t id = Runtime.Msg_id.Tbl.find_opt (index t).casts_by_id id
 
 let deliveries_of t id =
   List.filter
@@ -45,16 +118,19 @@ let deliveries_of t id =
       Runtime.Msg_id.equal d.msg.Amcast.Msg.id id)
     t.deliveries
 
+let delivered_by t id pid =
+  match Runtime.Msg_id.Tbl.find_opt (index t).pos id with
+  | None -> false
+  | Some row -> row.(pid) >= 0
+
 let delivered_everywhere_needed t id =
-  match cast_of t id with
+  let idx = index t in
+  match Runtime.Msg_id.Tbl.find_opt idx.casts_by_id id with
   | None -> false
   | Some c ->
     let addressees = Amcast.Msg.dest_pids t.topology c.msg in
     List.for_all
-      (fun p ->
-        (not (correct t p))
-        || List.exists (fun (d : delivery_event) -> d.pid = p)
-             (deliveries_of t id))
+      (fun p -> (not idx.correct_arr.(p)) || delivered_by t id p)
       addressees
 
 let pp_summary ppf t =

@@ -19,6 +19,20 @@ type delivery_event = {
   lc : Lclock.t;  (** Clock value at the A-Deliver event. *)
 }
 
+type index = {
+  correct_arr : bool array;  (** pid -> not crashed. *)
+  seqs : Amcast.Msg.t array array;
+      (** pid -> its delivery sequence, oldest first. *)
+  pos : int array Runtime.Msg_id.Tbl.t;
+      (** id -> per-pid position of the first delivery, [-1] = never. *)
+  casts_by_id : cast_event Runtime.Msg_id.Tbl.t;
+      (** First cast event per id. *)
+}
+(** Per-run lookup structures built in one pass over the event lists.
+    Everything the checkers consult repeatedly — who crashed, who delivered
+    what and in which position — as O(1) arrays and hash tables instead of
+    list scans. *)
+
 type t = {
   topology : Net.Topology.t;
   casts : cast_event list;  (** In cast order. *)
@@ -37,7 +51,28 @@ type t = {
   events_executed : int;
       (** Scheduler actions executed during the run — the simulation's raw
           event count, the unit benchmarks normalise throughput by. *)
+  mutable index_memo : index option;
+      (** Lazily built by {!index}; construct values with {!make} (which
+          seeds it with [None]) rather than a record literal. *)
 }
+
+val make :
+  topology:Net.Topology.t ->
+  casts:cast_event list ->
+  deliveries:delivery_event list ->
+  crashed:Net.Topology.pid list ->
+  trace:Runtime.Trace.t ->
+  inter_group_msgs:int ->
+  intra_group_msgs:int ->
+  end_time:Des.Sim_time.t ->
+  drained:bool ->
+  events_executed:int ->
+  unit ->
+  t
+
+val index : t -> index
+(** The memoised per-run index: built on first use, shared by every
+    subsequent accessor and checker on the same run. *)
 
 val correct : t -> Net.Topology.pid -> bool
 
@@ -46,6 +81,9 @@ val sequence_of : t -> Net.Topology.pid -> Amcast.Msg.t list
 
 val cast_of : t -> Runtime.Msg_id.t -> cast_event option
 val deliveries_of : t -> Runtime.Msg_id.t -> delivery_event list
+
+val delivered_by : t -> Runtime.Msg_id.t -> Net.Topology.pid -> bool
+(** Whether the process delivered the message, in O(1) after indexing. *)
 
 val delivered_everywhere_needed : t -> Runtime.Msg_id.t -> bool
 (** True when every correct addressee delivered the message. *)

@@ -95,18 +95,15 @@ module Make (P : Amcast.Protocol.S) = struct
     in
     let network = Engine.network d.engine in
     let sched = Engine.scheduler d.engine in
-    {
-      Run_result.topology = Engine.topology d.engine;
-      casts = Vec.to_list d.casts;
-      deliveries = Vec.to_list d.deliveries;
-      crashed;
-      trace;
-      inter_group_msgs = Network.sent_inter_group network;
-      intra_group_msgs = Network.sent_intra_group network;
-      end_time = Engine.now d.engine;
-      drained = Scheduler.pending sched = 0;
-      events_executed = Scheduler.executed sched;
-    }
+    Run_result.make ~topology:(Engine.topology d.engine)
+      ~casts:(Vec.to_list d.casts)
+      ~deliveries:(Vec.to_list d.deliveries)
+      ~crashed ~trace
+      ~inter_group_msgs:(Network.sent_inter_group network)
+      ~intra_group_msgs:(Network.sent_intra_group network)
+      ~end_time:(Engine.now d.engine)
+      ~drained:(Scheduler.pending sched = 0)
+      ~events_executed:(Scheduler.executed sched) ()
 
   let run ?seed ?latency ?config ?record_trace ?faults ?until ?max_steps
       topology workload =

@@ -76,14 +76,13 @@ let bad_run () =
   let mk_del pid msg at lc =
     { Harness.Run_result.pid; msg; at = Sim_time.of_ms at; lc }
   in
-  {
-    Harness.Run_result.topology = topo;
-    casts =
+  Harness.Run_result.make ~topology:topo
+    ~casts:
       [
         { msg = m0; origin = 0; at = Sim_time.of_ms 1; lc = 0 };
         { msg = m1; origin = 1; at = Sim_time.of_ms 1; lc = 0 };
-      ];
-    deliveries =
+      ]
+    ~deliveries:
       [
         (* p0 delivers m0 then m1; p1 delivers m1 then m0: order violation.
            Also p0 delivers m0 twice: integrity violation. *)
@@ -92,15 +91,11 @@ let bad_run () =
         mk_del 0 m1 4 1;
         mk_del 1 m1 2 1;
         mk_del 1 m0 3 1;
-      ];
-    crashed = [];
-    trace = Runtime.Trace.create ();
-    inter_group_msgs = 0;
-    intra_group_msgs = 0;
-    end_time = Sim_time.of_ms 10;
-    drained = true;
-    events_executed = 0;
-  }
+      ]
+    ~crashed:[]
+    ~trace:(Runtime.Trace.create ())
+    ~inter_group_msgs:0 ~intra_group_msgs:0 ~end_time:(Sim_time.of_ms 10)
+    ~drained:true ~events_executed:0 ()
 
 let test_checker_detects_duplicate () =
   let r = bad_run () in
@@ -120,6 +115,7 @@ let test_checker_detects_missing_delivery () =
       r with
       Harness.Run_result.deliveries =
         [ { pid = 0; msg = (List.hd r.casts).msg; at = Sim_time.of_ms 2; lc = 1 } ];
+      index_memo = None;
     }
   in
   Alcotest.(check bool) "agreement violation detected" true
@@ -132,22 +128,17 @@ let test_checker_accepts_clean_run () =
   let id0 = Runtime.Msg_id.make ~origin:0 ~seq:0 in
   let m0 = Amcast.Msg.make ~id:id0 ~dest:[ 0; 1 ] "a" in
   let r =
-    {
-      Harness.Run_result.topology = topo;
-      casts = [ { msg = m0; origin = 0; at = Sim_time.of_ms 1; lc = 0 } ];
-      deliveries =
+    Harness.Run_result.make ~topology:topo
+      ~casts:[ { msg = m0; origin = 0; at = Sim_time.of_ms 1; lc = 0 } ]
+      ~deliveries:
         [
           { pid = 0; msg = m0; at = Sim_time.of_ms 2; lc = 2 };
           { pid = 1; msg = m0; at = Sim_time.of_ms 2; lc = 2 };
-        ];
-      crashed = [];
-      trace = Runtime.Trace.create ();
-      inter_group_msgs = 2;
-      intra_group_msgs = 0;
-      end_time = Sim_time.of_ms 10;
-      drained = true;
-      events_executed = 0;
-    }
+        ]
+      ~crashed:[]
+      ~trace:(Runtime.Trace.create ())
+      ~inter_group_msgs:2 ~intra_group_msgs:0 ~end_time:(Sim_time.of_ms 10)
+      ~drained:true ~events_executed:0 ()
   in
   Util.check_no_violations "clean" (Harness.Checker.check_all r)
 
@@ -156,22 +147,17 @@ let test_metrics_latency_degree () =
   let id0 = Runtime.Msg_id.make ~origin:0 ~seq:0 in
   let m0 = Amcast.Msg.make ~id:id0 ~dest:[ 0; 1 ] "a" in
   let r =
-    {
-      Harness.Run_result.topology = topo;
-      casts = [ { msg = m0; origin = 0; at = Sim_time.of_ms 1; lc = 3 } ];
-      deliveries =
+    Harness.Run_result.make ~topology:topo
+      ~casts:[ { msg = m0; origin = 0; at = Sim_time.of_ms 1; lc = 3 } ]
+      ~deliveries:
         [
           { pid = 0; msg = m0; at = Sim_time.of_ms 2; lc = 5 };
           { pid = 1; msg = m0; at = Sim_time.of_ms 4; lc = 4 };
-        ];
-      crashed = [];
-      trace = Runtime.Trace.create ();
-      inter_group_msgs = 0;
-      intra_group_msgs = 0;
-      end_time = Sim_time.of_ms 10;
-      drained = true;
-      events_executed = 0;
-    }
+        ]
+      ~crashed:[]
+      ~trace:(Runtime.Trace.create ())
+      ~inter_group_msgs:0 ~intra_group_msgs:0 ~end_time:(Sim_time.of_ms 10)
+      ~drained:true ~events_executed:0 ()
   in
   Alcotest.(check (option int)) "max over deliverers" (Some 2)
     (Harness.Metrics.latency_degree r id0);

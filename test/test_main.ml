@@ -4,4 +4,5 @@ let () =
    @ Test_fd.suites @ Test_consensus.suites @ Test_rmcast.suites
    @ Test_a1.suites @ Test_a2.suites @ Test_baselines.suites
    @ Test_partitions.suites @ Test_rsm.suites @ Test_harness.suites
-   @ Test_properties.suites @ Test_parallel.suites @ Test_soak.suites)
+   @ Test_properties.suites @ Test_checkers.suites @ Test_parallel.suites
+   @ Test_soak.suites)
