@@ -1,0 +1,434 @@
+(* msgpath_bench — steady-state message-path economy of the fast lanes.
+
+   Replays the Figure 1(a)/1(b) workloads (crisp latencies, the exact
+   origin placements of bench/main.ml, cast at 300ms) once through the
+   fast lanes (Protocol.Config.default) and once through the reference
+   message pattern (Protocol.Config.reference), and writes
+   BENCH_msgpath.json with per-cell message counts, events, modeled bytes
+   and wall clock.
+
+   Two properties are checked; any failure exits non-zero:
+
+   - identity: the fast lanes are an intra-group economy, so on every
+     Figure 1 cell the inter-group message count and the latency degree
+     must be bit-identical between the two modes;
+   - economy: on a steady-state broadcast stream at d >= 3 the intra-group
+     consensus messages per executed instance must drop by at least 2x
+     (Multi-Paxos lease + coordinator-only Accepted/Decide: 4d-1 vs
+     2d^2+2d-1 per instance once the lease is held).
+
+   Usage: msgpath_bench [--seed S] [--out PATH]
+   Defaults: seed 0, ./BENCH_msgpath.json. *)
+
+open Des
+open Net
+
+let crisp =
+  Latency.uniform ~intra:(Sim_time.of_us 1_000) ~inter:(Sim_time.of_us 50_000)
+    ()
+
+let ms = Sim_time.of_ms
+
+(* Modeled wire sizes (bytes): a fixed envelope plus a per-kind body. Only
+   the relative weights matter; the model prices what the fast lanes
+   change — payload-bearing kinds against small acks. *)
+let bytes_of_tag tag =
+  let envelope = 40 in
+  let body =
+    match tag with
+    | "rm.data" -> 256 (* carries the application payload *)
+    | "rm.copy" | "rm.fetch" -> 8
+    | "cons.suggest" | "cons.accept" | "cons.decide" | "cons.promise"
+    | "cons.lease_promise" ->
+      256 (* carry (or may carry) a proposal value *)
+    | "cons.prepare" | "cons.accepted" | "cons.lease_prepare" -> 16
+    | "a2.bundle" -> 512 (* a whole round's message set *)
+    | "a1.ts" | "ring.handoff" | "ring.final" | "scalable.stamp" -> 264
+    | _ -> 64
+  in
+  envelope + body
+
+let trace_bytes trace =
+  List.fold_left
+    (fun acc entry ->
+      match entry with
+      | Runtime.Trace.Send { tag; _ } -> acc + bytes_of_tag tag
+      | _ -> acc)
+    0
+    (Runtime.Trace.entries trace)
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let intra_cons_msgs trace =
+  List.fold_left
+    (fun acc entry ->
+      match entry with
+      | Runtime.Trace.Send { tag; inter_group = false; _ }
+        when has_prefix "cons." tag ->
+        acc + 1
+      | _ -> acc)
+    0
+    (Runtime.Trace.entries trace)
+
+type mode_run = {
+  degree : int option;
+  inter : int;
+  intra : int;
+  events : int;
+  bytes : int;
+  wall_s : float;
+}
+
+let mode_run_of (r : Harness.Run_result.t) id wall_s =
+  {
+    degree = Harness.Metrics.latency_degree r id;
+    inter = r.inter_group_msgs;
+    intra = r.intra_group_msgs;
+    events = r.events_executed;
+    bytes = trace_bytes r.trace;
+    wall_s;
+  }
+
+type cell = {
+  experiment : string;
+  algorithm : string;
+  c_groups : int;
+  c_d : int;
+  c_k : int;
+  fast : mode_run;
+  reference : mode_run;
+}
+
+let diverges c =
+  c.fast.inter <> c.reference.inter || c.fast.degree <> c.reference.degree
+
+(* One multicast to groups [0..k-1]; caster in the last destination group
+   (the Figure 1(a) placement of bench/main.ml). *)
+let run_multicast (type a) (module P : Amcast.Protocol.S with type t = a)
+    ~config ?until ~seed ~groups ~d ~k () =
+  let module R = Harness.Runner.Make (P) in
+  let topo = Topology.symmetric ~groups ~per_group:d in
+  let origin = List.hd (Topology.members topo (k - 1)) in
+  let t0 = Unix.gettimeofday () in
+  let dep = R.deploy ~seed ~latency:crisp ~config topo in
+  let id = R.cast_at dep ~at:(ms 300) ~origin ~dest:(List.init k Fun.id) () in
+  let r = R.run_deployment ?until dep in
+  mode_run_of r id (Unix.gettimeofday () -. t0)
+
+let run_broadcast (type a) (module P : Amcast.Protocol.S with type t = a)
+    ~config ?until ~seed ~groups ~d ~origin () =
+  let module R = Harness.Runner.Make (P) in
+  let topo = Topology.symmetric ~groups ~per_group:d in
+  let t0 = Unix.gettimeofday () in
+  let dep = R.deploy ~seed ~latency:crisp ~config topo in
+  let id =
+    R.cast_at dep ~at:(ms 300) ~origin ~dest:(Topology.all_groups topo) ()
+  in
+  let r = R.run_deployment ?until dep in
+  mode_run_of r id (Unix.gettimeofday () -. t0)
+
+(* A2 with a warm round: discover the warm-up delivery instant, re-run the
+   same seed and cast the probe inside the next round (bench/main.ml's
+   Theorem 5.1 replication, parameterised by config). *)
+let a2_warm ~config ~seed ~groups ~d =
+  let module R = Harness.Runner.Make (Amcast.A2) in
+  let topo = Topology.symmetric ~groups ~per_group:d in
+  let all = Topology.all_groups topo in
+  let warm_delivery =
+    let dep = R.deploy ~seed ~latency:crisp ~config topo in
+    let warm = R.cast_at dep ~at:(ms 1) ~origin:0 ~dest:all () in
+    let r = R.run_deployment dep in
+    List.find_map
+      (fun (e : Harness.Run_result.delivery_event) ->
+        if e.pid = 0 && Runtime.Msg_id.equal e.msg.Amcast.Msg.id warm then
+          Some e.at
+        else None)
+      r.deliveries
+    |> Option.get
+  in
+  let t0 = Unix.gettimeofday () in
+  let dep = R.deploy ~seed ~latency:crisp ~config topo in
+  ignore (R.cast_at dep ~at:(ms 1) ~origin:0 ~dest:all ());
+  let probe =
+    R.cast_at dep
+      ~at:(Sim_time.add warm_delivery (ms 2))
+      ~origin:0 ~dest:all ()
+  in
+  let r = R.run_deployment dep in
+  mode_run_of r probe (Unix.gettimeofday () -. t0)
+
+let both ~name ~experiment ~groups ~d ~k run =
+  let fast = run Amcast.Protocol.Config.default in
+  let reference = run Amcast.Protocol.Config.reference in
+  let c =
+    {
+      experiment;
+      algorithm = name;
+      c_groups = groups;
+      c_d = d;
+      c_k = k;
+      fast;
+      reference;
+    }
+  in
+  Printf.printf
+    "  %-9s %-10s g=%d d=%d k=%d  deg %s/%s  inter %d/%d  intra %d/%d  \
+     bytes %d/%d%s\n\
+     %!"
+    c.experiment c.algorithm groups d k
+    (match fast.degree with Some x -> string_of_int x | None -> "-")
+    (match reference.degree with Some x -> string_of_int x | None -> "-")
+    fast.inter reference.inter fast.intra reference.intra fast.bytes
+    reference.bytes
+    (if diverges c then "  DIVERGENT" else "");
+  c
+
+(* The deterministic-merge baseline never quiesces (null stream); a single
+   probe under a horizon is enough for the fast-vs-reference identity
+   check — it uses neither consensus nor the uniform reliable multicast,
+   so both modes must coincide everywhere. *)
+let detmerge_config config =
+  { config with Amcast.Protocol.Config.null_period = ms 200 }
+
+let figure_1a_cells ~seed =
+  let cells = [ (2, 1); (2, 2); (2, 3); (3, 2); (4, 2) ] in
+  let groups = 4 in
+  List.concat_map
+    (fun (k, d) ->
+      let mk name run = both ~name ~experiment:"figure-1a" ~groups ~d ~k run in
+      [
+        mk "ring" (fun config ->
+            run_multicast (module Amcast.Ring) ~config ~seed ~groups ~d ~k ());
+        mk "scalable" (fun config ->
+            run_multicast
+              (module Amcast.Scalable)
+              ~config ~seed ~groups ~d ~k ());
+        mk "fritzke" (fun config ->
+            run_multicast
+              (module Amcast.Fritzke)
+              ~config ~seed ~groups ~d ~k ());
+        mk "a1" (fun config ->
+            run_multicast (module Amcast.A1) ~config ~seed ~groups ~d ~k ());
+        mk "detmerge" (fun config ->
+            run_multicast
+              (module Amcast.Detmerge)
+              ~config:(detmerge_config config)
+              ~until:(Sim_time.of_sec 2.) ~seed ~groups ~d ~k ());
+      ])
+    cells
+
+let figure_1b_cells ~seed =
+  let cells = [ (2, 2); (3, 2); (4, 2); (3, 3) ] in
+  List.concat_map
+    (fun (groups, d) ->
+      let mk name run =
+        both ~name ~experiment:"figure-1b" ~groups ~d ~k:groups run
+      in
+      [
+        mk "optimistic" (fun config ->
+            run_broadcast
+              (module Amcast.Optimistic)
+              ~config ~seed ~groups ~d ~origin:d ());
+        mk "sequencer" (fun config ->
+            let origin = if d > 1 then 1 else 0 in
+            run_broadcast
+              (module Amcast.Sequencer)
+              ~config ~seed ~groups ~d ~origin ());
+        mk "a2-cold" (fun config ->
+            run_broadcast (module Amcast.A2) ~config ~seed ~groups ~d
+              ~origin:0 ());
+        mk "a2-warm" (fun config -> a2_warm ~config ~seed ~groups ~d);
+        mk "detmerge" (fun config ->
+            run_broadcast
+              (module Amcast.Detmerge)
+              ~config:(detmerge_config config)
+              ~until:(Sim_time.of_sec 2.) ~seed ~groups ~d ~origin:0 ());
+      ])
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Steady state: a stream of broadcasts, intra-group consensus messages
+   per executed consensus instance, fast vs reference. Instances are
+   summed over one representative node per group (every group decides the
+   same instance sequence for a broadcast workload), so the per-instance
+   figure is the average across groups. *)
+
+type steady = {
+  s_protocol : string;
+  s_groups : int;
+  s_d : int;
+  s_msgs : int;
+  s_instances : int;
+  fast_cons_intra : int;
+  ref_cons_intra : int;
+  fast_per_instance : float;
+  ref_per_instance : float;
+  ratio : float;
+}
+
+let steady_stream (type a) (module P : Amcast.Protocol.S with type t = a)
+    ~(instances_at : a -> int) ~config ~seed ~groups ~d ~n =
+  let module R = Harness.Runner.Make (P) in
+  let topo = Topology.symmetric ~groups ~per_group:d in
+  let dep = R.deploy ~seed ~latency:crisp ~config topo in
+  let pids = Array.of_list (Topology.all_pids topo) in
+  for i = 0 to n - 1 do
+    ignore
+      (R.cast_at dep
+         ~at:(ms (300 + (20 * i)))
+         ~origin:pids.(i mod Array.length pids)
+         ~dest:(Topology.all_groups topo) ())
+  done;
+  let r = R.run_deployment dep in
+  let instances =
+    List.fold_left
+      (fun acc g ->
+        acc + instances_at (R.node dep (List.hd (Topology.members topo g))))
+      0
+      (Topology.all_groups topo)
+  in
+  (intra_cons_msgs r.trace, instances)
+
+let steady_cell (type a) name (module P : Amcast.Protocol.S with type t = a)
+    ~(instances_at : a -> int) ~seed ~groups ~d ~n =
+  let run config =
+    steady_stream (module P) ~instances_at ~config ~seed ~groups ~d ~n
+  in
+  let fast_cons_intra, fast_inst = run Amcast.Protocol.Config.default in
+  let ref_cons_intra, ref_inst = run Amcast.Protocol.Config.reference in
+  let per i inst = float_of_int i /. float_of_int (max 1 inst) in
+  let fast_per_instance = per fast_cons_intra fast_inst in
+  let ref_per_instance = per ref_cons_intra ref_inst in
+  let s =
+    {
+      s_protocol = name;
+      s_groups = groups;
+      s_d = d;
+      s_msgs = n;
+      s_instances = fast_inst;
+      fast_cons_intra;
+      ref_cons_intra;
+      fast_per_instance;
+      ref_per_instance;
+      ratio = ref_per_instance /. Float.max fast_per_instance 1e-9;
+    }
+  in
+  Printf.printf
+    "  steady %-3s g=%d d=%d n=%d  instances %d/%d  cons-intra/inst %.1f -> \
+     %.1f  (%.2fx)\n\
+     %!"
+    name groups d n fast_inst ref_inst ref_per_instance fast_per_instance
+    s.ratio;
+  s
+
+(* ------------------------------------------------------------------ *)
+
+let json_of_mode m =
+  Printf.sprintf
+    "{ \"degree\": %s, \"inter_msgs\": %d, \"intra_msgs\": %d, \"events\": \
+     %d, \"bytes_modeled\": %d, \"wall_s\": %.6f }"
+    (match m.degree with Some x -> string_of_int x | None -> "null")
+    m.inter m.intra m.events m.bytes m.wall_s
+
+let json_of_cell c =
+  Printf.sprintf
+    "    { \"experiment\": \"%s\", \"algorithm\": \"%s\", \"groups\": %d, \
+     \"d\": %d, \"k\": %d,\n\
+    \      \"fast\": %s,\n\
+    \      \"reference\": %s,\n\
+    \      \"inter_identical\": %b, \"degree_identical\": %b }"
+    c.experiment c.algorithm c.c_groups c.c_d c.c_k (json_of_mode c.fast)
+    (json_of_mode c.reference)
+    (c.fast.inter = c.reference.inter)
+    (c.fast.degree = c.reference.degree)
+
+let json_of_steady s =
+  Printf.sprintf
+    "    { \"protocol\": \"%s\", \"groups\": %d, \"d\": %d, \"msgs\": %d, \
+     \"instances\": %d,\n\
+    \      \"fast_cons_intra_msgs\": %d, \"reference_cons_intra_msgs\": %d,\n\
+    \      \"fast_cons_intra_per_instance\": %.2f, \
+     \"reference_cons_intra_per_instance\": %.2f, \"reduction\": %.2f }"
+    s.s_protocol s.s_groups s.s_d s.s_msgs s.s_instances s.fast_cons_intra
+    s.ref_cons_intra s.fast_per_instance s.ref_per_instance s.ratio
+
+let () =
+  let seed = ref 0 in
+  let out = ref "BENCH_msgpath.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "--out" :: v :: rest ->
+      out := v;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "msgpath_bench: unknown argument %S\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seed = !seed in
+  Printf.printf
+    "msgpath_bench: Figure 1 identity + steady-state economy, seed %d\n%!"
+    seed;
+  let cells = figure_1a_cells ~seed @ figure_1b_cells ~seed in
+  let steadies =
+    [
+      steady_cell "a1"
+        (module Amcast.A1)
+        ~instances_at:Amcast.A1.consensus_instances_executed ~seed ~groups:2
+        ~d:3 ~n:20;
+      steady_cell "a2"
+        (module Amcast.A2)
+        ~instances_at:Amcast.A2.rounds_executed ~seed ~groups:2 ~d:3 ~n:20;
+    ]
+  in
+  let divergent = List.filter diverges cells in
+  let min_ratio =
+    List.fold_left (fun acc s -> Float.min acc s.ratio) infinity steadies
+  in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"amcast-bench-msgpath/v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"generated_unix_time\": %.0f,\n"
+       (Unix.gettimeofday ()));
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf "  \"cells\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map json_of_cell cells));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"steady_state\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map json_of_steady steadies));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"divergent_cells\": %d,\n" (List.length divergent));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"min_steady_state_reduction\": %.2f\n"
+       (if min_ratio = infinity then 0. else min_ratio));
+  Buffer.add_string buf "}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf
+    "  wrote %s (%d cells, %d divergent; min steady-state reduction %.2fx)\n\
+     %!"
+    !out (List.length cells) (List.length divergent)
+    (if min_ratio = infinity then 0. else min_ratio);
+  if divergent <> [] then begin
+    Printf.eprintf
+      "msgpath_bench: FAIL — %d cell(s) where fast lanes change inter-group \
+       counts or latency degrees\n"
+      (List.length divergent);
+    exit 1
+  end;
+  if min_ratio < 2.0 then begin
+    Printf.eprintf
+      "msgpath_bench: FAIL — steady-state consensus-message reduction %.2fx \
+       < 2x at d >= 3\n"
+      min_ratio;
+    exit 1
+  end

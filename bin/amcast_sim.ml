@@ -61,7 +61,7 @@ let needs_horizon = function P_detmerge -> true | _ -> false
 
 let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
     inter_ms intra_ms horizon_ms print_trace print_timeline genuine_check
-    heartbeat_fd =
+    heartbeat_fd fast_lanes =
   let topo = Topology.symmetric ~groups ~per_group in
   let latency =
     Latency.uniform
@@ -108,6 +108,7 @@ let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
       }
     else Amcast.Protocol.Config.default
   in
+  let config = { config with Amcast.Protocol.Config.fast_lanes } in
   let until =
     (* A heartbeat detector never quiesces: force a horizon. *)
     if heartbeat_fd && until = None then
@@ -240,6 +241,17 @@ let heartbeat_t =
            detector instead of the oracle (never quiescent: a horizon is \
            applied).")
 
+let fast_lanes_t =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "fast-lanes" ] ~docv:"on|off"
+        ~doc:
+          "Steady-state message-path fast lanes (Multi-Paxos lease, \
+           coordinator-only decide, relay-bounded uniform R-MCast, \
+           broadcast network events, state GC). $(b,off) runs the \
+           reference message pattern.")
+
 let genuine_t =
   Arg.(
     value & flag
@@ -253,6 +265,6 @@ let cmd =
     Term.(
       const run_cli $ proto_t $ groups_t $ per_group_t $ messages_t $ seed_t
       $ gap_t $ poisson_t $ kmax_t $ crash_t $ inter_t $ intra_t $ horizon_t
-      $ trace_t $ timeline_t $ genuine_t $ heartbeat_t)
+      $ trace_t $ timeline_t $ genuine_t $ heartbeat_t $ fast_lanes_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,20 +9,44 @@
    that many OCaml domains (Harness.Pool); the summaries — and the exit
    code — are bit-identical to a sequential run for any domain count.
 
-   Usage: amcast_soak [RUNS] [SEED] [DOMAINS]
+   Usage: amcast_soak [--fast-lanes on|off] [RUNS] [SEED] [DOMAINS]
    DOMAINS defaults to 1 (sequential); pass 0 for the recommended domain
-   count of this machine. *)
+   count of this machine. --fast-lanes defaults to "on"; "off" soaks the
+   reference message pattern instead of the fast lanes. *)
 
 let () =
+  let config = ref Amcast.Protocol.Config.default in
+  let positional = ref [] in
+  let rec parse i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--fast-lanes" when i + 1 < Array.length Sys.argv ->
+        (match Sys.argv.(i + 1) with
+        | "on" -> config := Amcast.Protocol.Config.default
+        | "off" -> config := Amcast.Protocol.Config.reference
+        | _ ->
+          prerr_endline "amcast_soak: --fast-lanes must be \"on\" or \"off\"";
+          exit 2);
+        parse (i + 2)
+      | "--fast-lanes" ->
+        prerr_endline "amcast_soak: --fast-lanes needs an argument";
+        exit 2
+      | a ->
+        positional := a :: !positional;
+        parse (i + 1)
+  in
+  parse 1;
+  let positional = Array.of_list (List.rev !positional) in
+  let config = !config in
   let runs =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 50
+    if Array.length positional > 0 then int_of_string positional.(0) else 50
   in
   let seed =
-    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 0
+    if Array.length positional > 1 then int_of_string positional.(1) else 0
   in
   let domains =
-    if Array.length Sys.argv > 3 then
-      match int_of_string Sys.argv.(3) with
+    if Array.length positional > 2 then
+      match int_of_string positional.(2) with
       | 0 -> Harness.Pool.recommended_domains ()
       | d when d < 0 ->
         prerr_endline "amcast_soak: DOMAINS must be >= 0";
@@ -67,9 +91,9 @@ let () =
         (if with_crashes then " (with crash injection)" else "")
         (if domains > 1 then Fmt.str " on %d domains" domains else "");
       let summary =
-        Harness.Campaign.run_parallel proto ~expect_genuine ~check_causal
-          ~check_quiescence ~broadcast_only ~with_crashes ~domains ~seed
-          ~runs ()
+        Harness.Campaign.run_parallel proto ~config ~expect_genuine
+          ~check_causal ~check_quiescence ~broadcast_only ~with_crashes
+          ~domains ~seed ~runs ()
       in
       Fmt.pr "%a@." Harness.Campaign.pp_summary summary;
       if summary.failures <> [] then failed := true)

@@ -13,8 +13,18 @@ type 'v msg =
       accepted : (int * 'v) option;
     }
   | Accept of { instance : int; ballot : int; value : 'v }
-  | Accepted of { instance : int; ballot : int }
-  | Decide of { instance : int; value : 'v }
+  | Accepted of { instance : int; ballot : int; wm : int }
+      (* [wm]: the sender's decided-prefix watermark, piggybacked so the
+         coordinator can compute a safe garbage-collection floor. *)
+  | Decide of { instance : int; value : 'v; floor : int }
+      (* [floor]: every participant may prune decided instances up to
+         [min floor own_watermark] (fast lanes only; 0 in reference mode). *)
+  | Lease_prepare of { ballot : int }
+      (* Multi-Paxos coordinator lease: one prepare covering ALL instances.
+         A majority of promises lets the leader skip phase 1 per instance. *)
+  | Lease_promise of { ballot : int; accepted : (int * int * 'v) list }
+      (* Per-instance accepted state ((instance, ballot, value)) of the
+         promising acceptor, for every undecided instance it knows. *)
 
 let tag = function
   | Suggest _ -> "cons.suggest"
@@ -23,6 +33,8 @@ let tag = function
   | Accept _ -> "cons.accept"
   | Accepted _ -> "cons.accepted"
   | Decide _ -> "cons.decide"
+  | Lease_prepare _ -> "cons.lease_prepare"
+  | Lease_promise _ -> "cons.lease_promise"
 
 let pp_msg ppf m =
   match m with
@@ -34,9 +46,13 @@ let pp_msg ppf m =
       (match accepted with None -> "-" | Some (b, _) -> Fmt.str "acc@%d" b)
   | Accept { instance; ballot; _ } ->
     Fmt.pf ppf "accept(i%d,b%d)" instance ballot
-  | Accepted { instance; ballot } ->
-    Fmt.pf ppf "accepted(i%d,b%d)" instance ballot
-  | Decide { instance; _ } -> Fmt.pf ppf "decide(i%d)" instance
+  | Accepted { instance; ballot; wm } ->
+    Fmt.pf ppf "accepted(i%d,b%d,wm%d)" instance ballot wm
+  | Decide { instance; floor; _ } ->
+    Fmt.pf ppf "decide(i%d,f%d)" instance floor
+  | Lease_prepare { ballot } -> Fmt.pf ppf "lease_prepare(b%d)" ballot
+  | Lease_promise { ballot; accepted } ->
+    Fmt.pf ppf "lease_promise(b%d,%d inst)" ballot (List.length accepted)
 
 module Int_tbl = Hashtbl.Make (Int)
 
@@ -61,11 +77,27 @@ type ('v, 'w) t = {
   services : 'w Runtime.Services.t;
   wrap : 'v msg -> 'w;
   participants : Topology.pid array; (* sorted *)
+  participants_list : Topology.pid list; (* cached Array.to_list *)
+  self_rank : int; (* cached rank of the local process; -1 if not one *)
   detector : Fd.Detector.t;
   timeout : Sim_time.t;
+  fast : bool;
   on_decide : instance:int -> 'v -> unit;
   instances : 'v instance Int_tbl.t;
   mutable highest_decided : int option;
+  (* --- fast-lane state (unused in reference mode) --- *)
+  mutable decided_upto : int;
+      (* watermark: every instance <= this is locally decided or (per the
+         host's [note_consumed] contract) will never be proposed *)
+  mutable pruned_upto : int; (* instances <= this removed from the table *)
+  mutable remote_floor : int; (* highest floor advertised in a [Decide] *)
+  peer_wm : int array; (* per-rank watermark gleaned from [Accepted] *)
+  mutable lease_ballot : int; (* ballot we hold a coordinator lease for *)
+  mutable lease_pending : int; (* ballot we are acquiring a lease for *)
+  lease_promises : (Topology.pid, unit) Hashtbl.t;
+  mutable promise_floor : int;
+      (* acceptor: lease promise, applies to every instance *)
+  mutable max_ballot_seen : int;
 }
 
 let n t = Array.length t.participants
@@ -76,9 +108,18 @@ let rank t pid =
   Array.iteri (fun i p -> if p = pid then r := i) t.participants;
   !r
 
-let leader t = Fd.Detector.leader t.detector (Array.to_list t.participants)
+let leader t = Fd.Detector.leader t.detector t.participants_list
 let self t = t.services.Runtime.Services.self
 let is_leader t = leader t = Some (self t)
+let coordinator_of t ballot = t.participants.(ballot mod n t)
+
+(* Witness a ballot owned by someone else's message: a strictly higher
+   ballot in the system invalidates any coordinator lease we hold or are
+   acquiring (its phase-1 guarantee no longer covers new instances). *)
+let note_ballot t b =
+  if b > t.max_ballot_seen then t.max_ballot_seen <- b;
+  if t.lease_ballot >= 0 && b > t.lease_ballot then t.lease_ballot <- -1;
+  if t.lease_pending >= 0 && b > t.lease_pending then t.lease_pending <- -1
 
 let get_instance t i =
   match Int_tbl.find_opt t.instances i with
@@ -104,10 +145,15 @@ let get_instance t i =
     Int_tbl.replace t.instances i inst;
     inst
 
+(* Acceptor's effective promise: the per-instance one, raised to the lease
+   floor in fast mode (a lease promise covers every instance). *)
+let eff_promised t inst =
+  if t.fast then max inst.promised t.promise_floor else inst.promised
+
 let send_participants t m =
-  Runtime.Services.send_all t.services
-    (Array.to_list t.participants)
-    (t.wrap m)
+  let w = t.wrap m in
+  if t.fast then Runtime.Services.send_multi t.services t.participants_list w
+  else Runtime.Services.send_all t.services t.participants_list w
 
 let cancel_timer t inst =
   match inst.timer with
@@ -116,17 +162,59 @@ let cancel_timer t inst =
     inst.timer <- None
   | None -> ()
 
-let decide t i inst v =
+(* Contiguous decided prefix (instances are numbered from 1 by the hosts
+   that enable fast lanes; gaps stall the watermark until the host calls
+   [note_consumed]). *)
+let advance_decided_upto t =
+  let continue = ref true in
+  while !continue do
+    match Int_tbl.find_opt t.instances (t.decided_upto + 1) with
+    | Some inst when inst.decided <> None ->
+      t.decided_upto <- t.decided_upto + 1
+    | _ -> continue := false
+  done
+
+(* Highest instance every non-suspected participant is known to have
+   decided past — the only safe pruning bound: under an accurate detector
+   no live peer can still need an instance at or below it. *)
+let gc_floor t =
+  let m = ref t.decided_upto in
+  Array.iteri
+    (fun r p ->
+      if p <> self t && not (t.detector.Fd.Detector.suspects p) then
+        m := min !m t.peer_wm.(r))
+    t.participants;
+  min t.decided_upto (max !m t.remote_floor)
+
+let maybe_gc t =
+  if t.fast then begin
+    let f = gc_floor t in
+    while t.pruned_upto < f do
+      let i = t.pruned_upto + 1 in
+      Int_tbl.remove t.instances i;
+      t.pruned_upto <- i
+    done
+  end
+
+let decide ?(announce = true) t i inst v =
   if inst.decided = None then begin
     inst.decided <- Some v;
     cancel_timer t inst;
-    (* One Decide broadcast per decider, then silence: keeps the protocol
-       halting while guaranteeing uniform agreement under lossy crashes. *)
-    send_participants t (Decide { instance = i; value = v });
     (match t.highest_decided with
     | Some h when h >= i -> ()
     | _ -> t.highest_decided <- Some i);
-    t.on_decide ~instance:i v
+    if t.fast then advance_decided_upto t;
+    if announce then
+      (* Reference mode: one Decide broadcast per decider, then silence —
+         keeps the protocol halting while guaranteeing uniform agreement
+         under lossy crashes. Fast mode: only the coordinator (the unique
+         vote counter) announces; stragglers recover through their timers
+         and point-to-point Decide replies. *)
+      send_participants t
+        (Decide
+           { instance = i; value = v; floor = (if t.fast then gc_floor t else 0) });
+    t.on_decide ~instance:i v;
+    maybe_gc t
   end
 
 (* Value a coordinator must push after phase 1: the accepted value carried
@@ -164,7 +252,12 @@ let accept_locally t i inst ~ballot ~value =
   inst.accepted <- Some (ballot, value);
   Hashtbl.replace inst.ballot_values ballot value;
   inst.engaged <- true;
-  send_participants t (Accepted { instance = i; ballot })
+  let m = Accepted { instance = i; ballot; wm = t.decided_upto } in
+  if t.fast then
+    (* Single-shot vote: only the ballot's coordinator counts votes and
+       announces, so an instance costs n Accepted messages, not n². *)
+    t.services.Runtime.Services.send ~dst:(coordinator_of t ballot) (t.wrap m)
+  else send_participants t m
 
 let start_accept_phase t i inst ~value =
   inst.pushed <- true;
@@ -181,9 +274,13 @@ let try_push t i inst =
 (* Take over coordination with a fresh ballot owned by the local process. *)
 let start_new_ballot t i inst =
   if inst.decided = None then begin
-    let r = rank t (self t) in
+    let r = t.self_rank in
     if r >= 0 then begin
       let floor = max inst.promised inst.leading in
+      let floor =
+        if t.fast then max floor (max t.promise_floor t.max_ballot_seen)
+        else floor
+      in
       let b =
         (* smallest ballot > floor with b mod n = r *)
         let rec find k =
@@ -209,7 +306,17 @@ let start_new_ballot t i inst =
 let suggest_to_leader t i inst =
   match leader t with
   | Some l when l <> self t -> (
-    match inst.proposal with
+    let v =
+      match inst.proposal with
+      | Some _ as v -> v
+      | None ->
+        (* Fast mode: an acceptor stuck with accepted-but-undecided state
+           (e.g. the coordinator's Decide was lost) re-offers that value so
+           the leader can finish the instance — in reference mode the
+           all-to-all Accepted/Decide pattern covers this case. *)
+        if t.fast then Option.map snd inst.accepted else None
+    in
+    match v with
     | Some v ->
       inst.suggested <- true;
       t.services.send ~dst:l (t.wrap (Suggest { instance = i; value = v }))
@@ -223,31 +330,145 @@ let rec arm_timer t i inst =
         (t.services.set_timer ~after:t.timeout (fun () ->
              inst.timer <- None;
              if inst.decided = None then begin
-               if is_leader t then start_new_ballot t i inst
+               if is_leader t then begin
+                 (* A stalled lease acquisition must not block recovery:
+                    abandon it and fall back to a classic per-instance
+                    ballot (a later drive re-acquires the lease). *)
+                 if t.fast && t.lease_pending >= 0 then t.lease_pending <- -1;
+                 start_new_ballot t i inst
+               end
                else suggest_to_leader t i inst;
                arm_timer t i inst
              end))
 
+(* --- Multi-Paxos coordinator lease (fast mode only) ------------------- *)
+
+(* Drive an instance under the held lease: phase 1 is already covered by
+   the lease's majority promise, so push the accept phase directly. Falls
+   back to a classic ballot when this instance has individually promised
+   past the lease. *)
+let lease_push t i inst =
+  if inst.decided = None && t.lease_ballot >= 0 then begin
+    let b = t.lease_ballot in
+    if b >= max inst.promised inst.leading then begin
+      if not (inst.pushed && inst.leading = b) then begin
+        inst.leading <- b;
+        inst.phase1_done <- true;
+        inst.pushed <- false;
+        if inst.accepted <> None then
+          Hashtbl.replace inst.promises (self t) inst.accepted;
+        (match choose_value inst with
+        | Some v -> start_accept_phase t i inst ~value:v
+        | None -> ());
+        arm_timer t i inst
+      end
+    end
+    else start_new_ballot t i inst
+  end
+
+(* Hold (or start acquiring) a coordinator lease. Returns true iff a lease
+   is currently held; false while an acquisition is in flight (instances
+   are driven when the grant arrives, and per-instance timers cover loss). *)
+let ensure_lease t =
+  t.fast
+  && (t.lease_ballot >= 0
+     ||
+     if t.lease_pending >= 0 || t.self_rank < 0 || not (is_leader t) then
+       false
+     else begin
+       let floor = max t.max_ballot_seen t.promise_floor in
+       let b =
+         let rec find k =
+           let candidate = (k * n t) + t.self_rank in
+           if candidate > floor then candidate else find (k + 1)
+         in
+         find 0
+       in
+       if b = 0 then begin
+         (* Vacuous lease: no smaller ballot can exist anywhere, so the
+            phase-1 guarantee holds without any messages — this generalizes
+            the per-instance ballot-0 fast path. *)
+         t.lease_ballot <- 0;
+         t.promise_floor <- max t.promise_floor 0;
+         true
+       end
+       else begin
+         t.lease_pending <- b;
+         Hashtbl.reset t.lease_promises;
+         (* Self-grant locally; own accepted state joins per-instance
+            [promises] at push time. *)
+         t.promise_floor <- max t.promise_floor b;
+         Hashtbl.replace t.lease_promises (self t) ();
+         let others =
+           List.filter (fun p -> p <> self t) t.participants_list
+         in
+         Runtime.Services.send_multi t.services others
+           (t.wrap (Lease_prepare { ballot = b }));
+         if Hashtbl.length t.lease_promises >= majority t then begin
+           t.lease_pending <- -1;
+           t.lease_ballot <- b;
+           true
+         end
+         else false
+       end
+     end)
+
+(* Engaged undecided instances with a pushable value source, in instance
+   order; collected before iterating because pushes can decide and prune. *)
+let drivable t =
+  Int_tbl.fold
+    (fun i inst acc ->
+      if
+        inst.decided = None
+        && (inst.proposal <> None || inst.accepted <> None
+           || Hashtbl.length inst.promises > 0)
+      then (i, inst) :: acc
+      else acc)
+    t.instances []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Leader-side drive of one instance, used by propose/Suggest paths. *)
+let drive_as_leader t i inst =
+  if t.fast then begin
+    if ensure_lease t then lease_push t i inst
+    else if t.lease_pending >= 0 then ()
+      (* grant in flight: the instance is driven when it lands *)
+    else if inst.leading < 0 then start_new_ballot t i inst
+    else try_push t i inst
+  end
+  else if inst.leading < 0 then start_new_ballot t i inst
+  else try_push t i inst
+
 let propose t ~instance v =
-  let inst = get_instance t instance in
-  if inst.decided = None && inst.proposal = None then begin
-    inst.proposal <- Some v;
-    inst.engaged <- true;
-    arm_timer t instance inst;
-    if is_leader t then
-      if inst.leading < 0 then start_new_ballot t instance inst
-      else try_push t instance inst
-    else suggest_to_leader t instance inst
+  if not (t.fast && instance <= t.pruned_upto) then begin
+    let inst = get_instance t instance in
+    if inst.decided = None && inst.proposal = None then begin
+      inst.proposal <- Some v;
+      inst.engaged <- true;
+      arm_timer t instance inst;
+      if is_leader t then drive_as_leader t instance inst
+      else suggest_to_leader t instance inst
+    end
   end
 
 let on_suspicion_change t =
   if is_leader t then
-    Int_tbl.iter
-      (fun i inst ->
-        if inst.engaged && inst.decided = None then
-          if inst.proposal <> None || inst.accepted <> None then
-            start_new_ballot t i inst)
-      t.instances
+    if t.fast then begin
+      match drivable t with
+      | [] -> ()
+      | targets ->
+        if ensure_lease t then
+          List.iter (fun (i, inst) -> lease_push t i inst) targets
+        (* else: acquisition in flight (instances driven at grant) or we
+           cannot lead; per-instance timers cover both. *)
+    end
+    else
+      Int_tbl.iter
+        (fun i inst ->
+          if inst.engaged && inst.decided = None then
+            if inst.proposal <> None || inst.accepted <> None then
+              start_new_ballot t i inst)
+        t.instances
   else
     (* Re-route pending inputs to the new coordinator. *)
     Int_tbl.iter
@@ -256,71 +477,164 @@ let on_suspicion_change t =
           suggest_to_leader t i inst)
       t.instances
 
+(* Fast mode: drive traffic for an already-decided instance is answered
+   with a point-to-point Decide (the reference mode's all-to-all Decide
+   makes this unnecessary there). Returns true when the message is fully
+   handled. Messages for pruned instances are dropped: pruning only
+   happens once every non-suspected participant's watermark passed the
+   instance, so under an accurate detector no live peer still needs it. *)
+let fast_handled t ~src instance =
+  t.fast
+  && (instance <= t.pruned_upto
+     ||
+     match Int_tbl.find_opt t.instances instance with
+     | Some { decided = Some v; _ } ->
+       if src <> self t then
+         t.services.send ~dst:src
+           (t.wrap (Decide { instance; value = v; floor = gc_floor t }));
+       true
+     | _ -> false)
+
 let handle t ~src m =
   match m with
   | Suggest { instance; value } ->
-    let inst = get_instance t instance in
-    if inst.decided = None then begin
-      if inst.proposal = None then inst.proposal <- Some value;
-      inst.engaged <- true;
-      arm_timer t instance inst;
-      if is_leader t then
-        if inst.leading < 0 then start_new_ballot t instance inst
-        else try_push t instance inst
+    if not (fast_handled t ~src instance) then begin
+      let inst = get_instance t instance in
+      if inst.decided = None then begin
+        if inst.proposal = None then inst.proposal <- Some value;
+        inst.engaged <- true;
+        arm_timer t instance inst;
+        if is_leader t then drive_as_leader t instance inst
+      end
     end
   | Prepare { instance; ballot } ->
-    let inst = get_instance t instance in
-    if ballot > inst.promised then begin
-      inst.promised <- ballot;
-      inst.engaged <- true;
-      arm_timer t instance inst;
-      t.services.send ~dst:src
-        (t.wrap (Promise { instance; ballot; accepted = inst.accepted }))
+    note_ballot t ballot;
+    if not (fast_handled t ~src instance) then begin
+      let inst = get_instance t instance in
+      if ballot > eff_promised t inst then begin
+        inst.promised <- ballot;
+        inst.engaged <- true;
+        arm_timer t instance inst;
+        t.services.send ~dst:src
+          (t.wrap (Promise { instance; ballot; accepted = inst.accepted }))
+      end
     end
   | Promise { instance; ballot; accepted } ->
-    let inst = get_instance t instance in
-    if inst.leading = ballot && not inst.phase1_done then begin
-      Hashtbl.replace inst.promises src accepted;
-      if Hashtbl.length inst.promises >= majority t then begin
-        inst.phase1_done <- true;
-        try_push t instance inst
+    if not (fast_handled t ~src instance) then begin
+      let inst = get_instance t instance in
+      if inst.leading = ballot && not inst.phase1_done then begin
+        Hashtbl.replace inst.promises src accepted;
+        if Hashtbl.length inst.promises >= majority t then begin
+          inst.phase1_done <- true;
+          try_push t instance inst
+        end
       end
     end
   | Accept { instance; ballot; value } ->
-    let inst = get_instance t instance in
-    if ballot >= inst.promised then begin
-      accept_locally t instance inst ~ballot ~value;
-      arm_timer t instance inst;
-      maybe_decide_from_votes t instance inst ballot
+    note_ballot t ballot;
+    if not (fast_handled t ~src instance) then begin
+      let inst = get_instance t instance in
+      if ballot >= eff_promised t inst then begin
+        accept_locally t instance inst ~ballot ~value;
+        arm_timer t instance inst;
+        maybe_decide_from_votes t instance inst ballot
+      end
+      else if not (Hashtbl.mem inst.ballot_values ballot) then
+        (* Stale, but remember the ballot's value for learner counting. *)
+        Hashtbl.replace inst.ballot_values ballot value
     end
-    else if not (Hashtbl.mem inst.ballot_values ballot) then
-      (* Stale, but remember the ballot's value for learner counting. *)
-      Hashtbl.replace inst.ballot_values ballot value
-  | Accepted { instance; ballot } ->
-    let inst = get_instance t instance in
-    Hashtbl.replace (votes_for inst ballot) src ();
-    maybe_decide_from_votes t instance inst ballot
-  | Decide { instance; value } ->
-    let inst = get_instance t instance in
-    decide t instance inst value
+  | Accepted { instance; ballot; wm } ->
+    note_ballot t ballot;
+    if t.fast then begin
+      let r = rank t src in
+      if r >= 0 && wm > t.peer_wm.(r) then t.peer_wm.(r) <- wm
+    end;
+    if not (t.fast && instance <= t.pruned_upto) then begin
+      let inst = get_instance t instance in
+      Hashtbl.replace (votes_for inst ballot) src ();
+      maybe_decide_from_votes t instance inst ballot
+    end;
+    maybe_gc t
+  | Decide { instance; value; floor } ->
+    if t.fast && floor > t.remote_floor then t.remote_floor <- floor;
+    if not (t.fast && instance <= t.pruned_upto) then begin
+      let inst = get_instance t instance in
+      (* Fast mode: the announcing coordinator already reached everyone;
+         re-broadcasting would reinstate the O(n²) decide storm. *)
+      decide ~announce:(not t.fast) t instance inst value
+    end
+    else maybe_gc t
+  | Lease_prepare { ballot } ->
+    note_ballot t ballot;
+    if t.fast && ballot > t.promise_floor then begin
+      t.promise_floor <- ballot;
+      let accepted =
+        Int_tbl.fold
+          (fun i inst acc ->
+            match inst.accepted with
+            | Some (b, v) when inst.decided = None -> (i, b, v) :: acc
+            | _ -> acc)
+          t.instances []
+        |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+      in
+      t.services.send ~dst:src (t.wrap (Lease_promise { ballot; accepted }))
+    end
+  | Lease_promise { ballot; accepted } ->
+    if t.fast && t.lease_pending = ballot then begin
+      List.iter
+        (fun (i, b, v) ->
+          if i > t.pruned_upto then begin
+            let inst = get_instance t i in
+            inst.engaged <- true;
+            Hashtbl.replace inst.promises src (Some (b, v))
+          end)
+        accepted;
+      Hashtbl.replace t.lease_promises src ();
+      if Hashtbl.length t.lease_promises >= majority t then begin
+        t.lease_pending <- -1;
+        t.lease_ballot <- ballot;
+        List.iter (fun (i, inst) -> lease_push t i inst) (drivable t)
+      end
+    end
+
+let note_consumed t ~upto =
+  if t.fast && upto > t.decided_upto then begin
+    t.decided_upto <- upto;
+    maybe_gc t
+  end
 
 let create ~services ~wrap ~participants ~detector
-    ?(timeout = Sim_time.of_ms 200) ~on_decide () =
+    ?(timeout = Sim_time.of_ms 200) ?(fast_lanes = true) ~on_decide () =
   let participants =
     Array.of_list (List.sort_uniq Int.compare participants)
   in
   if Array.length participants = 0 then
     invalid_arg "Paxos.create: no participants";
+  let self = services.Runtime.Services.self in
+  let self_rank = ref (-1) in
+  Array.iteri (fun i p -> if p = self then self_rank := i) participants;
   let t =
     {
       services;
       wrap;
       participants;
+      participants_list = Array.to_list participants;
+      self_rank = !self_rank;
       detector;
       timeout;
+      fast = fast_lanes;
       on_decide;
       instances = Int_tbl.create 64;
       highest_decided = None;
+      decided_upto = 0;
+      pruned_upto = 0;
+      remote_floor = 0;
+      peer_wm = Array.make (Array.length participants) 0;
+      lease_ballot = -1;
+      lease_pending = -1;
+      lease_promises = Hashtbl.create 4;
+      promise_floor = -1;
+      max_ballot_seen = -1;
     }
   in
   detector.subscribe (fun () -> on_suspicion_change t);
@@ -332,3 +646,7 @@ let decided_value t ~instance =
   | Some inst -> inst.decided
 
 let highest_decided t = t.highest_decided
+let retained_instances t = Int_tbl.length t.instances
+let pruned_upto t = t.pruned_upto
+let decided_upto t = t.decided_upto
+let holds_lease t = t.lease_ballot >= 0

@@ -9,17 +9,44 @@
     Structure per instance (ballot [b] is coordinated by participant
     [b mod n]):
 
-    - ballot 0 skips the prepare phase (no smaller ballot can exist), so a
-      failure-free instance costs one [Accept] fan-out, an all-to-all
-      [Accepted], and an all-to-all [Decide] — all intra-group when the
-      participants are one group, hence free in latency-degree terms;
-    - every acceptor broadcasts [Accepted] to all participants and every
-      decider broadcasts [Decide] once, so a decision by any process leads
-      every correct participant to decide (uniform agreement) even when a
-      crashing coordinator's messages were partially lost;
+    - ballot 0 skips the prepare phase (no smaller ballot can exist);
     - a participant that proposed (or adopted acceptor state) arms a
       decision timeout; on expiry — or on a suspicion change — the smallest
       non-suspected participant takes over with a higher ballot of its own.
+
+    The module runs in one of two modes, selected by [?fast_lanes]:
+
+    {b Reference mode} ([fast_lanes = false]) is the original message
+    pattern: every acceptor broadcasts [Accepted] to all participants and
+    every decider broadcasts [Decide] once, so a failure-free instance
+    costs an [Accept] fan-out plus an all-to-all [Accepted] and an
+    all-to-all [Decide] (2n² + 2n − 1 messages) — maximally robust to
+    partial message loss under crashes, and kept as the differential-test
+    baseline.
+
+    {b Fast mode} ([fast_lanes = true], the default) is the Multi-Paxos
+    steady state:
+
+    - {e coordinator lease}: a stable leader pre-promises a ballot once for
+      {e all} instances ([Lease_prepare]/[Lease_promise], generalizing the
+      ballot-0 fast path to any leader) and skips phase 1 per instance;
+    - {e single-shot vote and decide}: acceptors send [Accepted] only to
+      the ballot's coordinator, which alone counts votes and broadcasts
+      [Decide] — 4n − 1 messages per steady-state instance; stragglers
+      recover via their decision timers, answered by point-to-point
+      [Decide] replies from any decided participant;
+    - {e decided-instance GC}: watermarks piggybacked on [Accepted] let the
+      coordinator compute a floor below which every non-suspected
+      participant has decided; the floor rides on [Decide] and each process
+      prunes its instance table up to [min floor own_watermark]. With an
+      accurate detector (the oracle) pruning is always safe; under a
+      wrongly-suspecting ◇P a falsely suspected process may have to wait
+      for its next instances instead of back-filling a pruned one.
+
+    Both modes decide the same values (Paxos safety is mode-independent —
+    the lease majority intersects every chosen quorum); only the
+    {e intra-group} message complexity differs, so the paper's inter-group
+    metrics are unaffected.
 
     Instances are independent; decisions may be reported out of order and
     callers sequence them as they see fit (both A1 and A2 consume decisions
@@ -47,6 +74,7 @@ val create :
   participants:Net.Topology.pid list ->
   detector:Fd.Detector.t ->
   ?timeout:Des.Sim_time.t ->
+  ?fast_lanes:bool ->
   on_decide:(instance:int -> 'v -> unit) ->
   unit ->
   ('v, 'w) t
@@ -54,7 +82,9 @@ val create :
     include the local process and be identical everywhere) fixes the quorum
     system: a majority of participants. [on_decide] fires exactly once per
     instance, with the decided value. [timeout] (default 200ms) is the
-    decision timeout that triggers coordinator rotation. *)
+    decision timeout that triggers coordinator rotation. [fast_lanes]
+    (default true) selects the Multi-Paxos steady-state message pattern
+    (see the module docs); pass [false] for the reference pattern. *)
 
 val propose : ('v, 'w) t -> instance:int -> 'v -> unit
 (** Submit the local proposal for an instance. At most one proposal per
@@ -65,6 +95,28 @@ val handle : ('v, 'w) t -> src:Net.Topology.pid -> 'v msg -> unit
 (** Feed an incoming consensus message. *)
 
 val decided_value : ('v, 'w) t -> instance:int -> 'v option
+(** The locally decided value of an instance, if still retained — in fast
+    mode, garbage-collected instances report [None] (hosts consume
+    decisions through [on_decide], which fires before any pruning). *)
 
 val highest_decided : ('v, 'w) t -> int option
 (** Largest instance number the local process has decided, if any. *)
+
+val note_consumed : ('v, 'w) t -> upto:int -> unit
+(** Fast-lane watermark hook for hosts whose instance numbering skips
+    (A1's group clock can jump): declares that every instance [<= upto] is
+    either locally decided or will never be proposed by anyone, letting the
+    GC watermark advance across the gaps. No-op in reference mode. *)
+
+val retained_instances : ('v, 'w) t -> int
+(** Number of instance records currently held (decided-but-unpruned plus
+    in-progress) — the state-growth figure soak summaries report. *)
+
+val pruned_upto : ('v, 'w) t -> int
+(** Instances [1..pruned_upto] have been decided and reclaimed. *)
+
+val decided_upto : ('v, 'w) t -> int
+(** The local contiguous-decided watermark (fast mode; 0 in reference). *)
+
+val holds_lease : ('v, 'w) t -> bool
+(** Whether the local process currently holds a coordinator lease. *)

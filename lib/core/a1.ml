@@ -185,7 +185,9 @@ let rec process_decisions t =
                 Topology.pids_of_groups t.services.Services.topology
                   (other_dest_groups t e.msg)
               in
-              Services.send_all t.services dest_outside
+              (if t.config.fast_lanes then Services.send_multi
+               else Services.send_all)
+                t.services dest_outside
                 (Ts { msg = e.msg; ts = k; from_group = t.my_group });
               moved_to_s1 := e.msg.id :: !moved_to_s1
             | Stage.S2 ->
@@ -204,6 +206,10 @@ let rec process_decisions t =
       entries;
     (* Line 31: K <- max(max ts decided, K) + 1. *)
     t.k <- max !max_ts t.k + 1;
+    (* The group clock can jump past unproposed instance numbers (every
+       member follows the same K sequence, so the gaps are never filled);
+       let the consensus GC watermark advance across them. *)
+    Consensus.Paxos.note_consumed (cons t) ~upto:(t.k - 1);
     (* Proposals buffered while we were deciding may complete stage s1. *)
     List.iter (fun id -> check_s1 t id) !moved_to_s1;
     adelivery_test t;
@@ -286,6 +292,7 @@ let create ~services ~config ~deliver =
          ~wrap:(fun m -> Rm m)
          ~mode:config.Protocol.Config.rm_mode
          ~oracle_delay:config.Protocol.Config.oracle_delay
+         ~fast_lanes:config.Protocol.Config.fast_lanes
          ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m -> note_message t m)
          ());
   t.cons <-
@@ -297,6 +304,7 @@ let create ~services ~config ~deliver =
               (Services.my_group services))
          ~detector
          ~timeout:config.Protocol.Config.consensus_timeout
+         ~fast_lanes:config.Protocol.Config.fast_lanes
          ~on_decide:(fun ~instance v ->
            Hashtbl.replace t.decisions instance v;
            process_decisions t)
@@ -306,3 +314,11 @@ let create ~services ~config ~deliver =
 let pending_count t = Msg_id.Tbl.length t.pending
 let clock t = t.k
 let consensus_instances_executed t = t.cons_executed
+
+let stats t =
+  [
+    ("cons.instances", Consensus.Paxos.retained_instances (cons t));
+    ("rm.entries", Rmcast.Reliable_multicast.retained_entries (rm t));
+    ("rm.tombstones", Rmcast.Reliable_multicast.reclaimed_entries (rm t));
+    ("pending", Msg_id.Tbl.length t.pending);
+  ]

@@ -26,6 +26,7 @@ type t = {
   deliver : Msg.t -> unit;
   round_grace : Des.Sim_time.t;
   prediction : Protocol.Config.prediction;
+  fast_lanes : bool;
   mutable empty_streak : int; (* consecutive useless rounds *)
   mutable grace_timer : int option;
   my_group : Topology.gid;
@@ -109,7 +110,8 @@ let rec maybe_finish_round t =
   | Some own_bundle ->
     if not s.own_sent then begin
       s.own_sent <- true;
-      Services.send_all t.services t.outside_pids
+      (if t.fast_lanes then Services.send_multi else Services.send_all)
+        t.services t.outside_pids
         (Bundle { round = t.k; msgs = own_bundle })
     end;
     let complete =
@@ -215,6 +217,7 @@ let create ~services ~config ~deliver =
       deliver;
       round_grace = config.Protocol.Config.round_grace;
       prediction = config.Protocol.Config.prediction;
+      fast_lanes = config.Protocol.Config.fast_lanes;
       empty_streak = 0;
       grace_timer = None;
       my_group;
@@ -254,6 +257,7 @@ let create ~services ~config ~deliver =
          ~wrap:(fun m -> Rm m)
          ~mode:config.Protocol.Config.rm_mode
          ~oracle_delay:config.Protocol.Config.oracle_delay
+         ~fast_lanes:config.Protocol.Config.fast_lanes
          ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m -> on_rdeliver t m)
          ());
   t.cons <-
@@ -263,6 +267,7 @@ let create ~services ~config ~deliver =
          ~participants:(Topology.members topology my_group)
          ~detector
          ~timeout:config.Protocol.Config.consensus_timeout
+         ~fast_lanes:config.Protocol.Config.fast_lanes
          ~on_decide:(fun ~instance v ->
            let s = round_state t instance in
            if s.own = None then s.own <- Some v;
@@ -273,3 +278,12 @@ let create ~services ~config ~deliver =
 let round t = t.k
 let barrier t = t.barrier
 let rounds_executed t = t.rounds_executed
+
+let stats t =
+  [
+    ("cons.instances", Consensus.Paxos.retained_instances (cons t));
+    ("rm.entries", Rmcast.Reliable_multicast.retained_entries (rm t));
+    ("rm.tombstones", Rmcast.Reliable_multicast.reclaimed_entries (rm t));
+    ("pending", Pending_index.size t.und);
+    ("rounds", Hashtbl.length t.rounds);
+  ]

@@ -142,3 +142,5 @@ let optimistic_mistakes t =
       count (if inverted then acc + 1 else acc) rest
   in
   count 0 final
+
+let stats _ = []

@@ -18,6 +18,7 @@ module Config = struct
     round_grace : Des.Sim_time.t;
     null_period : Des.Sim_time.t;
     opt_window : Des.Sim_time.t;
+    fast_lanes : bool;
   }
 
   let default =
@@ -32,7 +33,10 @@ module Config = struct
       round_grace = Des.Sim_time.of_ms 10;
       null_period = Des.Sim_time.of_ms 10;
       opt_window = Des.Sim_time.of_ms 5;
+      fast_lanes = true;
     }
+
+  let reference = { default with fast_lanes = false }
 
   let fritzke =
     {
@@ -57,4 +61,5 @@ module type S = sig
 
   val cast : t -> Msg.t -> unit
   val on_receive : t -> src:Net.Topology.pid -> wire -> unit
+  val stats : t -> (string * int) list
 end

@@ -73,11 +73,26 @@ module Config : sig
         (** Optimistic total order ([12]): compensation window receivers
             wait before optimistically delivering, to absorb latency
             differences between links. *)
+    fast_lanes : bool;
+        (** Steady-state message-path fast lanes (default on): Multi-Paxos
+            coordinator lease + coordinator-only [Accepted]/[Decide] and
+            decided-instance GC in consensus, payload-free [Copy] acks in
+            the uniform reliable multicast, and single-event [send_multi]
+            fan-outs on broadcast-shaped hot paths. Off = reference mode:
+            the original (chattier) message pattern, kept for differential
+            testing. Both modes implement the same protocols — only
+            {e intra-group} message complexity changes, so Figure 1
+            inter-group counts and Section 2.3 latency degrees are
+            unaffected. *)
   }
 
   val default : t
   (** A1 as published: both skips on, non-uniform reliable multicast,
       200ms consensus timeout, 50ms oracle delay. *)
+
+  val reference : t
+  (** {!default} with [fast_lanes = false] — the pre-fast-lane message
+      pattern, for differential runs. *)
 
   val fritzke : t
   (** The Fritzke et al. [5] baseline: no stage skipping. The initial
@@ -116,4 +131,11 @@ module type S = sig
       [dest] covering all groups). *)
 
   val on_receive : t -> src:Net.Topology.pid -> wire -> unit
+
+  val stats : t -> (string * int) list
+  (** Retained-state counters for this process (e.g. undecided consensus
+      instances kept live, reliable-multicast entries not yet reclaimed).
+      Labels are protocol-defined; the harness sums them across processes
+      so soaks can report state growth. Protocols without retained state
+      report []. *)
 end

@@ -29,6 +29,7 @@ type pending = {
 type t = {
   services : wire Services.t;
   deliver : Msg.t -> unit;
+  fast_lanes : bool;
   my_group : Topology.gid;
   mutable clock : int;
   mutable instance : int; (* group-local: next consensus instance *)
@@ -168,7 +169,8 @@ and apply_stamp t (stamp : stamp) =
     t.outstanding <- Some m.id;
     if is_last_group t m then begin
       (* The chain ends here: my group's stamp is the final timestamp. *)
-      Services.send_all t.services
+      (if t.fast_lanes then Services.send_multi else Services.send_all)
+        t.services
         (List.filter
            (fun q -> q <> t.services.Services.self)
            (Msg.dest_pids t.services.Services.topology m))
@@ -214,6 +216,7 @@ let create ~services ~config ~deliver =
     {
       services;
       deliver;
+      fast_lanes = config.Protocol.Config.fast_lanes;
       my_group = Services.my_group services;
       clock = 0;
       instance = 1;
@@ -236,6 +239,7 @@ let create ~services ~config ~deliver =
          ~wrap:(fun m -> Rm m)
          ~mode:Rmcast.Reliable_multicast.Eager_nonuniform
          ~oracle_delay:config.Protocol.Config.oracle_delay
+         ~fast_lanes:config.Protocol.Config.fast_lanes
          ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m ->
            enqueue t m ~known_ts:0)
          ());
@@ -247,6 +251,14 @@ let create ~services ~config ~deliver =
            (Topology.members services.Services.topology t.my_group)
          ~detector
          ~timeout:config.Protocol.Config.consensus_timeout
+           (* Decide timing gates the inter-group Handoff/Final fan-outs
+              here: with the coordinator-only Decide of the fast lane, the
+              first member's Final overtakes the others' Decide and
+              suppresses their (redundant) fan-outs, changing the
+              inter-group message pattern. The fast lanes must stay an
+              intra-group economy, so this consensus always runs the
+              reference pattern. *)
+         ~fast_lanes:false
          ~on_decide:(fun ~instance v ->
            Hashtbl.replace t.decisions instance v;
            process_decisions t)
@@ -254,3 +266,11 @@ let create ~services ~config ~deliver =
   t
 
 let pending_count t = Msg_id.Tbl.length t.pending
+
+let stats t =
+  [
+    ("cons.instances", Consensus.Paxos.retained_instances (cons t));
+    ("rm.entries", Rmcast.Reliable_multicast.retained_entries (rm t));
+    ("rm.tombstones", Rmcast.Reliable_multicast.reclaimed_entries (rm t));
+    ("pending", Msg_id.Tbl.length t.pending);
+  ]

@@ -83,6 +83,11 @@ let consensus_for t (p : pending) =
         ~participants:(Msg.dest_pids t.services.Services.topology p.msg)
         ~detector:t.detector
         ~timeout:t.config.Protocol.Config.consensus_timeout
+          (* The participants here span groups: the fast lanes are an
+             intra-group economy and would alter the protocol's inter-group
+             message counts, so this consensus always runs the reference
+             pattern. *)
+        ~fast_lanes:false
         ~on_decide:(fun ~instance:_ ts ->
           if p.final = None then begin
             p.final <- Some ts;
@@ -189,8 +194,16 @@ let create ~services ~config ~deliver =
          ~wrap:(fun m -> Rm m)
          ~mode:Rmcast.Reliable_multicast.Eager_nonuniform
          ~oracle_delay:config.Protocol.Config.oracle_delay
+         ~fast_lanes:config.Protocol.Config.fast_lanes
          ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m -> on_data t m)
          ());
   t
 
 let pending_count t = Msg_id.Tbl.length t.pending
+
+let stats t =
+  [
+    ("rm.entries", Rmcast.Reliable_multicast.retained_entries (rm t));
+    ("rm.tombstones", Rmcast.Reliable_multicast.reclaimed_entries (rm t));
+    ("pending", Msg_id.Tbl.length t.pending);
+  ]

@@ -140,3 +140,5 @@ let create ~services ~config:_ ~deliver =
   }
 
 let optimistic_deliveries t = List.rev t.opt_log
+
+let stats _ = []

@@ -140,3 +140,5 @@ let create ~services ~config:_ ~deliver =
   }
 
 let pending_count t = Msg_id.Tbl.length t.pending
+
+let stats _ = []

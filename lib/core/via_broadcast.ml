@@ -17,3 +17,5 @@ let create ~services ~config ~deliver =
 
 let cast t m = A2.cast_payload_only t.a2 m
 let on_receive t ~src w = A2.on_receive t.a2 ~src w
+
+let stats t = A2.stats t.a2

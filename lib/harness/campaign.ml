@@ -18,6 +18,7 @@ type outcome = {
   max_degree : int option;
   drained : bool;
   steps : int;
+  retained : (string * int) list;
 }
 
 type summary = {
@@ -27,6 +28,7 @@ type summary = {
   failures : outcome list;
   delivered_total : int;
   total_steps : int;
+  retained_total : (string * int) list;
 }
 
 let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true) () =
@@ -78,7 +80,19 @@ let faults_for s topo =
       (Topology.all_groups topo)
   end
 
-let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false)
+(* Label-wise sum of assoc lists, result sorted by label so the merge is
+   order-insensitive. *)
+let sum_retained lists =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun (label, n) ->
+         Hashtbl.replace tbl label
+           (n + Option.value ~default:0 (Hashtbl.find_opt tbl label))))
+    lists;
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run_one (module P : Amcast.Protocol.S) ?config ?(expect_genuine = false)
     ?(check_causal = false) ?(check_quiescence = false) s =
   let module R = Runner.Make (P) in
   let topo = Topology.symmetric ~groups:s.groups ~per_group:s.per_group in
@@ -93,7 +107,13 @@ let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false)
       ()
   in
   let faults = faults_for s topo in
-  let r = R.run ~seed:s.seed ~latency ~faults topo workload in
+  let dep = R.deploy ~seed:s.seed ~latency ?config ~faults topo in
+  ignore (R.schedule dep workload);
+  let r = R.run_deployment dep in
+  let retained =
+    sum_retained
+      (List.map (fun pid -> P.stats (R.node dep pid)) (Topology.all_pids topo))
+  in
   {
     scenario = s;
     violations =
@@ -104,6 +124,7 @@ let run_one (module P : Amcast.Protocol.S) ?(expect_genuine = false)
     max_degree = Metrics.max_latency_degree r;
     drained = r.drained;
     steps = r.events_executed;
+    retained;
   }
 
 let summarize outcomes =
@@ -117,32 +138,38 @@ let summarize outcomes =
     delivered_total =
       List.fold_left (fun acc o -> acc + o.delivered) 0 outcomes;
     total_steps = List.fold_left (fun acc o -> acc + o.steps) 0 outcomes;
+    retained_total = sum_retained (List.map (fun o -> o.retained) outcomes);
   }
 
-let run_scenarios proto ?expect_genuine ?check_causal ?check_quiescence ss =
-  List.map (run_one proto ?expect_genuine ?check_causal ?check_quiescence) ss
+let run_scenarios proto ?config ?expect_genuine ?check_causal
+    ?check_quiescence ss =
+  List.map
+    (run_one proto ?config ?expect_genuine ?check_causal ?check_quiescence)
+    ss
 
 (* Each scenario owns its seed, so runs are independent; the pool writes
    outcome [i] at index [i], so the outcome list — and therefore the
    summary — is bit-identical to the sequential driver's for any domain
    count. *)
-let run_scenarios_parallel proto ?expect_genuine ?check_causal
+let run_scenarios_parallel proto ?config ?expect_genuine ?check_causal
     ?check_quiescence ?domains ss =
   Pool.map ?domains
-    (fun s -> run_one proto ?expect_genuine ?check_causal ?check_quiescence s)
+    (fun s ->
+      run_one proto ?config ?expect_genuine ?check_causal ?check_quiescence s)
     (Array.of_list ss)
   |> Array.to_list
 
-let run proto ?expect_genuine ?check_causal ?check_quiescence
+let run proto ?config ?expect_genuine ?check_causal ?check_quiescence
     ?broadcast_only ?with_crashes ~seed ~runs () =
   scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
-  |> run_scenarios proto ?expect_genuine ?check_causal ?check_quiescence
+  |> run_scenarios proto ?config ?expect_genuine ?check_causal
+       ?check_quiescence
   |> summarize
 
-let run_parallel proto ?expect_genuine ?check_causal ?check_quiescence
-    ?broadcast_only ?with_crashes ?domains ~seed ~runs () =
+let run_parallel proto ?config ?expect_genuine ?check_causal
+    ?check_quiescence ?broadcast_only ?with_crashes ?domains ~seed ~runs () =
   scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
-  |> run_scenarios_parallel proto ?expect_genuine ?check_causal
+  |> run_scenarios_parallel proto ?config ?expect_genuine ?check_causal
        ?check_quiescence ?domains
   |> summarize
 
@@ -157,6 +184,13 @@ let pp_scenario ppf s =
 let pp_summary ppf t =
   Fmt.pf ppf "@[<v>%d runs, %d clean, %d messages delivered, %d events@,"
     t.runs t.clean t.delivered_total t.total_steps;
+  if t.retained_total <> [] then begin
+    Fmt.pf ppf "end-of-run retained state:";
+    List.iter
+      (fun (label, n) -> Fmt.pf ppf " %s=%d" label n)
+      t.retained_total;
+    Fmt.pf ppf "@,"
+  end;
   if t.failures = [] then Fmt.pf ppf "no violations.@]"
   else begin
     Fmt.pf ppf "%d VIOLATIONS across %d runs:@," t.total_violations

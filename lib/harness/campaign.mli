@@ -29,6 +29,9 @@ type outcome = {
   max_degree : int option;
   drained : bool;
   steps : int;  (** Simulation events executed by this run. *)
+  retained : (string * int) list;
+      (** End-of-run {!Amcast.Protocol.S.stats} counters, summed over all
+          processes, sorted by label. *)
 }
 
 type summary = {
@@ -38,6 +41,10 @@ type summary = {
   failures : outcome list;  (** Outcomes with at least one violation. *)
   delivered_total : int;
   total_steps : int;  (** Simulation events executed across all runs. *)
+  retained_total : (string * int) list;
+      (** Label-wise sum of every outcome's [retained] counters — how much
+          protocol state survived to the end of the runs (a growth check
+          for the fast-lane GC). *)
 }
 
 val random_scenario :
@@ -59,6 +66,7 @@ val scenarios :
 
 val run_one :
   (module Amcast.Protocol.S) ->
+  ?config:Amcast.Protocol.Config.t ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -67,6 +75,7 @@ val run_one :
 
 val run_scenarios :
   (module Amcast.Protocol.S) ->
+  ?config:Amcast.Protocol.Config.t ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -76,6 +85,7 @@ val run_scenarios :
 
 val run_scenarios_parallel :
   (module Amcast.Protocol.S) ->
+  ?config:Amcast.Protocol.Config.t ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -89,6 +99,7 @@ val summarize : outcome list -> summary
 
 val run :
   (module Amcast.Protocol.S) ->
+  ?config:Amcast.Protocol.Config.t ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -101,6 +112,7 @@ val run :
 
 val run_parallel :
   (module Amcast.Protocol.S) ->
+  ?config:Amcast.Protocol.Config.t ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->

@@ -5,7 +5,7 @@ open Runtime
 
 type node_kind =
   | Send of { env : int; inter : bool }
-  | Receive of { env : int }
+  | Receive of { env : int; dst : int }
   | Cast of Msg_id.t
   | Deliver of Msg_id.t
   | Other
@@ -14,9 +14,10 @@ type t = {
   kinds : node_kind array;
   (* program-order predecessor of each node (same process), -1 if first *)
   prev_on_pid : int array;
-  (* for a Receive node, the index of the matching Send; -1 if the send is
-     missing from the trace (should not happen when recording is on) *)
-  send_of_env : (int, int) Hashtbl.t;
+  (* for a Receive node, the index of the matching Send. A broadcast
+     fan-out shares one envelope across its destinations, so the key is
+     (env, dst), which is unique per delivery. *)
+  send_of_env : (int * int, int) Hashtbl.t;
   casts : (Msg_id.t, int) Hashtbl.t;
   delivers : (Msg_id.t, int list) Hashtbl.t;
 }
@@ -48,10 +49,10 @@ let of_trace trace =
         Hashtbl.replace last_of_pid pid i
       | None -> ());
       match entry with
-      | Trace.Send { env; inter_group; _ } ->
+      | Trace.Send { env; dst; inter_group; _ } ->
         kinds.(i) <- Send { env; inter = inter_group };
-        Hashtbl.replace send_of_env env i
-      | Trace.Receive { env; _ } -> kinds.(i) <- Receive { env }
+        Hashtbl.replace send_of_env (env, dst) i
+      | Trace.Receive { env; dst; _ } -> kinds.(i) <- Receive { env; dst }
       | Trace.Cast { id; _ } ->
         kinds.(i) <- Cast id;
         if not (Hashtbl.mem casts id) then Hashtbl.replace casts id i
@@ -81,8 +82,8 @@ let distances t root =
     if p >= 0 then relax i dist.(p);
     (* message edge into a receive, weighted by the send's group crossing *)
     match t.kinds.(i) with
-    | Receive { env } -> (
-      match Hashtbl.find_opt t.send_of_env env with
+    | Receive { env; dst } -> (
+      match Hashtbl.find_opt t.send_of_env (env, dst) with
       | Some s ->
         relax i
           (match (dist.(s), t.kinds.(s)) with

@@ -1,11 +1,28 @@
 open Des
 
-type 'w slot = {
+type 'w single = {
   src : Topology.pid;
   dst : Topology.pid;
   payload : 'w;
   handle : Scheduler.handle;
 }
+
+(* A whole fan-out kept as one slab entry: per-destination arrivals are
+   pre-sampled at send time and walked by a single scheduler event that
+   re-arms itself for the next destination at pop time. This is the
+   [send_multi] fast lane — a broadcast costs one event in the queue at any
+   instant instead of one per destination. *)
+type 'w multi = {
+  m_src : Topology.pid;
+  m_payload : 'w;
+  arrivals : (Sim_time.t * Topology.pid) array;
+      (* sorted by arrival, stable, so equal arrivals keep the order a
+         per-destination send loop would deliver them in *)
+  mutable pos : int;
+  mutable m_handle : Scheduler.handle;
+}
+
+type 'w slot = Single of 'w single | Multi of 'w multi
 
 (* In-flight messages live in a free-list slab instead of a Hashtbl: [send]
    is the hottest call in the simulator and the slab turns its bookkeeping
@@ -77,26 +94,41 @@ let release_slot t i =
   t.free.(t.free_top) <- i;
   t.free_top <- t.free_top + 1
 
-let fire t i =
+let rec fire t i =
   match t.slots.(i) with
   | None -> ()
-  | Some s ->
+  | Some (Single s) ->
     release_slot t i;
     t.deliver ~src:s.src ~dst:s.dst s.payload
+  | Some (Multi m) ->
+    let _, dst = m.arrivals.(m.pos) in
+    m.pos <- m.pos + 1;
+    (* Re-arm (or release) before delivering: the delivery can send, and a
+       released slot must be reusable from inside it. *)
+    if m.pos < Array.length m.arrivals then begin
+      let at, _ = m.arrivals.(m.pos) in
+      m.m_handle <- Scheduler.at t.sched at (fun () -> fire t i)
+    end
+    else release_slot t i;
+    t.deliver ~src:m.m_src ~dst m.m_payload
 
 let schedule_delivery t ~src ~dst ~arrival payload =
   let i = acquire_slot t in
   let handle = Scheduler.at t.sched arrival (fun () -> fire t i) in
-  t.slots.(i) <- Some { src; dst; payload; handle }
+  t.slots.(i) <- Some (Single { src; dst; payload; handle })
 
-let send t ~src ~dst payload =
+(* Per-destination admission, bookkeeping and latency sampling, shared
+   between [send] and [send_multi] so the two paths are observably
+   equivalent (filter, counters, taps and rng draws happen in the same
+   order). Returns [None] when the filter rejects the destination. *)
+let admit t ~src ~src_group ~dst payload =
   let admitted =
     match t.send_filter with
     | None -> true
     | Some f -> f ~src ~dst
   in
-  if admitted then begin
-    let src_group = Topology.group_of t.topology src in
+  if not admitted then None
+  else begin
     let dst_group = Topology.group_of t.topology dst in
     t.sent_total <- t.sent_total + 1;
     if src_group = dst_group then t.sent_intra <- t.sent_intra + 1
@@ -104,20 +136,68 @@ let send t ~src ~dst payload =
     List.iter (fun tap -> tap ~src ~dst payload) t.taps;
     let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
     let arrival = Sim_time.add (Scheduler.now t.sched) delay in
-    let arrival =
-      Sim_time.max arrival (hold_floor t ~src_group ~dst_group)
-    in
-    schedule_delivery t ~src ~dst ~arrival payload
+    Some (Sim_time.max arrival (hold_floor t ~src_group ~dst_group))
   end
+
+let send t ~src ~dst payload =
+  let src_group = Topology.group_of t.topology src in
+  match admit t ~src ~src_group ~dst payload with
+  | None -> ()
+  | Some arrival -> schedule_delivery t ~src ~dst ~arrival payload
+
+let send_multi t ~src ~dsts payload =
+  let src_group = Topology.group_of t.topology src in
+  let entries =
+    List.filter_map
+      (fun dst ->
+        match admit t ~src ~src_group ~dst payload with
+        | None -> None
+        | Some arrival -> Some (arrival, dst))
+      dsts
+  in
+  match entries with
+  | [] -> ()
+  | [ (arrival, dst) ] -> schedule_delivery t ~src ~dst ~arrival payload
+  | entries ->
+    let arrivals = Array.of_list entries in
+    Array.stable_sort (fun (a, _) (b, _) -> Sim_time.compare a b) arrivals;
+    let i = acquire_slot t in
+    let at, _ = arrivals.(0) in
+    let handle = Scheduler.at t.sched at (fun () -> fire t i) in
+    t.slots.(i) <-
+      Some (Multi { m_src = src; m_payload = payload; arrivals; pos = 0;
+                    m_handle = handle })
+
+(* The adversarial controls below reason about one (src, dst, arrival)
+   triple per slot; dissolve multi slots into singles first. They only run
+   on rare control events, so the cost is irrelevant. Indices are collected
+   before any slot is touched: releasing/acquiring mid-iteration can swap
+   the slab array out from under [Array.iteri]. *)
+let explode t =
+  let multis = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s with Some (Multi m) -> multis := (i, m) :: !multis | _ -> ())
+    t.slots;
+  List.iter
+    (fun (i, m) ->
+      Scheduler.cancel t.sched m.m_handle;
+      release_slot t i;
+      for j = m.pos to Array.length m.arrivals - 1 do
+        let arrival, dst = m.arrivals.(j) in
+        schedule_delivery t ~src:m.m_src ~dst ~arrival m.m_payload
+      done)
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) !multis)
 
 (* In-flight messages on the [src_group]→[dst_group] link, sorted by
    scheduler handle (i.e. scheduling order) for determinism. *)
 let inflight_on_link t ~src_group ~dst_group =
+  explode t;
   let acc = ref [] in
   Array.iteri
     (fun i s ->
       match s with
-      | Some m
+      | Some (Single m)
         when Topology.group_of t.topology m.src = src_group
              && Topology.group_of t.topology m.dst = dst_group ->
         acc := (i, m) :: !acc
@@ -171,11 +251,13 @@ let heal_all t =
     (List.sort compare links)
 
 let drop_inflight t pred =
+  explode t;
   let victims = ref [] in
   Array.iteri
     (fun i s ->
       match s with
-      | Some m when pred ~src:m.src ~dst:m.dst -> victims := (i, m) :: !victims
+      | Some (Single m) when pred ~src:m.src ~dst:m.dst ->
+        victims := (i, m) :: !victims
       | _ -> ())
     t.slots;
   List.iter
@@ -190,5 +272,16 @@ let on_send t tap = t.taps <- t.taps @ [ tap ]
 let sent_total t = t.sent_total
 let sent_inter_group t = t.sent_inter
 let sent_intra_group t = t.sent_intra
-let in_flight t = Array.length t.slots - t.free_top
+
+let in_flight t =
+  let n = ref 0 in
+  Array.iter
+    (fun s ->
+      match s with
+      | None -> ()
+      | Some (Single _) -> incr n
+      | Some (Multi m) -> n := !n + (Array.length m.arrivals - m.pos))
+    t.slots;
+  !n
+
 let topology t = t.topology

@@ -34,6 +34,17 @@ val send : 'w t -> src:Topology.pid -> dst:Topology.pid -> 'w -> unit
     delay. Delivery order between two processes is not FIFO (jitter may
     reorder), matching the asynchronous model. *)
 
+val send_multi :
+  'w t -> src:Topology.pid -> dsts:Topology.pid list -> 'w -> unit
+(** [send_multi t ~src ~dsts w] queues one copy of [w] for every destination
+    in [dsts], observably like [List.iter (fun dst -> send t ~src ~dst w)]
+    (send filter, counters, taps and per-destination latency samples are all
+    applied in list order), but the whole fan-out occupies a single
+    scheduler event that walks the pre-sampled arrival times in order,
+    re-arming itself at pop time. Broadcast-heavy protocols use this to keep
+    the event queue at one entry per fan-out instead of one per
+    destination. *)
+
 val hold :
   'w t -> src_group:Topology.gid -> dst_group:Topology.gid ->
   until:Des.Sim_time.t -> unit

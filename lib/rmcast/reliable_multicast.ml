@@ -8,26 +8,46 @@ type 'p msg =
       dest : Topology.pid list;
       payload : 'p;
     }
+  | Copy of { id : Msg_id.t; origin : Topology.pid; dest : Topology.pid list }
+      (* Fast-lane ack: "I hold the payload and vouch for it" without
+         re-sending the payload — the uniform mode's majority evidence at
+         O(|dest|²) small acks instead of O(|dest|²) payload copies. *)
+  | Fetch of { id : Msg_id.t }
+      (* Fast-lane payload pull, for the rare race where a Copy beats every
+         payload-bearing Data to a process. Answered point-to-point. *)
 
-let tag (Data _) = "rm.data"
-let pp_msg ppf (Data { id; _ }) = Fmt.pf ppf "rm.data(%a)" Msg_id.pp id
+let tag = function
+  | Data _ -> "rm.data"
+  | Copy _ -> "rm.copy"
+  | Fetch _ -> "rm.fetch"
+
+let pp_msg ppf m =
+  match m with
+  | Data { id; _ } -> Fmt.pf ppf "rm.data(%a)" Msg_id.pp id
+  | Copy { id; _ } -> Fmt.pf ppf "rm.copy(%a)" Msg_id.pp id
+  | Fetch { id } -> Fmt.pf ppf "rm.fetch(%a)" Msg_id.pp id
 
 type mode = Eager_nonuniform | Ack_uniform
 
 type 'p known = {
   origin : Topology.pid;
-  dest : Topology.pid list;
-  payload : 'p;
-  copies : (Topology.pid, unit) Hashtbl.t; (* distinct forwarders seen *)
+  mutable dest : Topology.pid list;
+  mutable payload : 'p option; (* None: only a Copy seen (or reclaimed) *)
+  copies : (Topology.pid, unit) Hashtbl.t; (* distinct vouchers seen *)
   mutable relayed : bool;
   mutable delivered : bool;
+  mutable fetched : bool; (* a Fetch for the payload is outstanding *)
+  mutable reclaimed : bool;
+      (* tombstone: bulk state dropped, entry kept for at-most-once *)
 }
 
 type ('p, 'w) t = {
   services : 'w Services.t;
   wrap : 'p msg -> 'w;
   mode : mode;
+  fast : bool;
   known : 'p known Msg_id.Tbl.t;
+  mutable reclaimed_count : int;
   on_deliver :
     id:Msg_id.t ->
     origin:Topology.pid ->
@@ -38,97 +58,196 @@ type ('p, 'w) t = {
 
 let majority dest = (List.length dest / 2) + 1
 
+let find_known t ~id ~origin ~dest =
+  match Msg_id.Tbl.find_opt t.known id with
+  | Some k -> k
+  | None ->
+    let k =
+      {
+        origin;
+        dest;
+        payload = None;
+        copies = Hashtbl.create 4;
+        relayed = false;
+        delivered = false;
+        fetched = false;
+        reclaimed = false;
+      }
+    in
+    Msg_id.Tbl.replace t.known id k;
+    k
+
+let fan_out t pids w =
+  if t.fast then Services.send_multi t.services pids w
+  else Services.send_all t.services pids w
+
 let rec relay t id k =
-  if not k.relayed then begin
-    k.relayed <- true;
-    let self = t.services.Services.self in
-    (* Relaying vouches for the message: the relayer counts as one of the
-       copy holders the uniform mode's majority test looks for. *)
-    Hashtbl.replace k.copies self ();
-    Services.send_all t.services
-      (List.filter (fun q -> q <> self) k.dest)
-      (t.wrap
-         (Data { id; origin = k.origin; dest = k.dest; payload = k.payload }));
-    maybe_deliver t id k
-  end
+  if (not k.relayed) && not k.reclaimed then
+    match k.payload with
+    | None -> () (* fast lane: no payload yet — the Fetch is in flight *)
+    | Some payload ->
+      k.relayed <- true;
+      let self = t.services.Services.self in
+      (* Relaying vouches for the message: the relayer counts as one of the
+         copy holders the uniform mode's majority test looks for. *)
+      Hashtbl.replace k.copies self ();
+      let others = List.filter (fun q -> q <> self) k.dest in
+      (match t.mode with
+      | Ack_uniform when t.fast ->
+        (* The payload travelled once (origin fan-out or Fetch reply);
+           vouch with a payload-free Copy. *)
+        fan_out t others (t.wrap (Copy { id; origin = k.origin; dest = k.dest }))
+      | Ack_uniform | Eager_nonuniform ->
+        fan_out t others
+          (t.wrap (Data { id; origin = k.origin; dest = k.dest; payload })));
+      maybe_deliver t id k
 
 and maybe_deliver t id k =
-  if (not k.delivered) && List.mem t.services.Services.self k.dest then begin
+  if
+    (not k.delivered) && (not k.reclaimed)
+    && List.mem t.services.Services.self k.dest
+  then begin
     let ready =
       match t.mode with
-      | Eager_nonuniform -> true
-      | Ack_uniform -> Hashtbl.length k.copies >= majority k.dest
+      | Eager_nonuniform -> k.payload <> None
+      | Ack_uniform ->
+        k.payload <> None && Hashtbl.length k.copies >= majority k.dest
     in
     if ready then begin
       k.delivered <- true;
-      t.on_deliver ~id ~origin:k.origin ~dest:k.dest k.payload
+      match k.payload with
+      | Some p -> t.on_deliver ~id ~origin:k.origin ~dest:k.dest p
+      | None -> assert false
     end
   end
 
+let reclaim t k =
+  k.reclaimed <- true;
+  k.payload <- None;
+  Hashtbl.reset k.copies;
+  k.dest <- [];
+  t.reclaimed_count <- t.reclaimed_count + 1
+
+(* A Copy/Data from q proves q holds the payload, so once every addressee
+   has vouched (and we are done with the message locally) nobody can ever
+   Fetch from us again: drop payload, copies and dest. The tombstone stays
+   because the origin's payload-bearing Data to us can still be in flight
+   (we may have learned the payload through a Fetch reply that overtook
+   it) — at-most-once needs the [delivered] flag to survive. *)
+let maybe_reclaim t k =
+  if
+    t.fast && t.mode = Ack_uniform && (not k.reclaimed) && k.relayed
+    && (k.delivered || not (List.mem t.services.Services.self k.dest))
+    && List.for_all (fun q -> Hashtbl.mem k.copies q) k.dest
+  then reclaim t k
+
 let learn t ~id ~origin ~dest ~payload ~from =
-  let k =
-    match Msg_id.Tbl.find_opt t.known id with
-    | Some k -> k
-    | None ->
-      let k =
-        {
-          origin;
-          dest;
-          payload;
-          copies = Hashtbl.create 4;
-          relayed = false;
-          delivered = false;
-        }
-      in
-      Msg_id.Tbl.replace t.known id k;
-      k
-  in
-  Hashtbl.replace k.copies from ();
-  (match t.mode with
-  | Ack_uniform ->
-    (* Uniformity needs everyone to echo before anyone is sure. *)
-    relay t id k
-  | Eager_nonuniform ->
-    (* Origin already down when we learn the message: relay immediately,
-       the crash-detection callback has already fired (or soon will, with
-       this message not yet known). *)
-    if not (t.services.Services.alive k.origin) then relay t id k);
-  maybe_deliver t id k;
+  let k = find_known t ~id ~origin ~dest in
+  if not k.reclaimed then begin
+    if k.payload = None then k.payload <- Some payload;
+    Hashtbl.replace k.copies from ();
+    (match t.mode with
+    | Ack_uniform ->
+      (* Uniformity needs everyone to echo before anyone is sure. *)
+      relay t id k
+    | Eager_nonuniform ->
+      (* Origin already down when we learn the message: relay immediately,
+         the crash-detection callback has already fired (or soon will, with
+         this message not yet known). *)
+      if not (t.services.Services.alive k.origin) then relay t id k);
+    maybe_deliver t id k;
+    maybe_reclaim t k
+  end;
   k
 
 let rmcast t ~id ~dest payload =
   let dest = List.sort_uniq Int.compare dest in
   let origin = t.services.Services.self in
-  let k = learn t ~id ~origin ~dest ~payload ~from:origin in
-  (* The origin's initial fan-out counts as its relay; it learns its own
-     message directly, so no self-send. *)
-  k.relayed <- true;
-  Services.send_all t.services
-    (List.filter (fun q -> q <> origin) dest)
-    (t.wrap (Data { id; origin; dest; payload }))
+  if t.fast then begin
+    (* The origin's initial fan-out IS its relay: mark it as such before
+       learning so the Ack_uniform path does not fan out twice. *)
+    let k = find_known t ~id ~origin ~dest in
+    if not k.reclaimed then begin
+      if k.payload = None then k.payload <- Some payload;
+      Hashtbl.replace k.copies origin ();
+      k.relayed <- true;
+      fan_out t
+        (List.filter (fun q -> q <> origin) dest)
+        (t.wrap (Data { id; origin; dest; payload }));
+      maybe_deliver t id k;
+      maybe_reclaim t k
+    end
+  end
+  else begin
+    let k = learn t ~id ~origin ~dest ~payload ~from:origin in
+    (* The origin's initial fan-out counts as its relay; it learns its own
+       message directly, so no self-send. *)
+    k.relayed <- true;
+    Services.send_all t.services
+      (List.filter (fun q -> q <> origin) dest)
+      (t.wrap (Data { id; origin; dest; payload }))
+  end
 
 let handle t ~src:from m =
   match m with
   | Data { id; origin; dest; payload } ->
     ignore (learn t ~id ~origin ~dest ~payload ~from)
+  | Copy { id; origin; dest } ->
+    let k = find_known t ~id ~origin ~dest in
+    if not k.reclaimed then begin
+      Hashtbl.replace k.copies from ();
+      if k.payload = None && not k.fetched then begin
+        (* The payload is still on its way (or its carrier crashed): pull
+           it from the voucher, who necessarily holds it. *)
+        k.fetched <- true;
+        t.services.send ~dst:from (t.wrap (Fetch { id }))
+      end;
+      maybe_deliver t id k;
+      maybe_reclaim t k
+    end
+  | Fetch { id } -> (
+    match Msg_id.Tbl.find_opt t.known id with
+    | Some ({ payload = Some p; _ } as k) when not k.reclaimed ->
+      t.services.send ~dst:from
+        (t.wrap (Data { id; origin = k.origin; dest = k.dest; payload = p }))
+    | _ -> ())
 
 let delivered t id =
   match Msg_id.Tbl.find_opt t.known id with
   | Some k -> k.delivered
   | None -> false
 
+let retained_entries t = Msg_id.Tbl.length t.known - t.reclaimed_count
+let reclaimed_entries t = t.reclaimed_count
+
 let create ~services ~wrap ?(mode = Eager_nonuniform)
-    ?(oracle_delay = Des.Sim_time.of_ms 50) ~on_deliver () =
+    ?(oracle_delay = Des.Sim_time.of_ms 50) ?(fast_lanes = true) ~on_deliver
+    () =
   let t =
-    { services; wrap; mode; known = Msg_id.Tbl.create 64; on_deliver }
+    {
+      services;
+      wrap;
+      mode;
+      fast = fast_lanes;
+      known = Msg_id.Tbl.create 64;
+      reclaimed_count = 0;
+      on_deliver;
+    }
   in
   (match mode with
   | Eager_nonuniform ->
     (* Crash-relay rule: when the origin of a delivered message is reported
-       crashed, re-forward once so every correct addressee gets a copy. *)
+       crashed, re-forward once so every correct addressee gets a copy.
+       After the relay the payload's local obligations are over — fast mode
+       reclaims the bulk state (the tombstone keeps at-most-once intact
+       against relays arriving from other deliverers). *)
     services.Services.on_crash_detected ~delay:oracle_delay (fun dead ->
         Msg_id.Tbl.iter
-          (fun id k -> if k.origin = dead && k.delivered then relay t id k)
+          (fun id k ->
+            if k.origin = dead && k.delivered && not k.reclaimed then begin
+              relay t id k;
+              if t.fast then reclaim t k
+            end)
           t.known)
   | Ack_uniform -> ());
   t

@@ -24,7 +24,25 @@
       delivers. Costs one extra message delay and O(|dest|²) messages.
 
     The caster need not belong to the destination set; it then sends but
-    never delivers. *)
+    never delivers.
+
+    {b Fast lanes} (default on, [~fast_lanes:false] restores the reference
+    behavior byte for byte):
+
+    - {!Ack_uniform} relays the payload only once. The origin fans out the
+      payload-bearing [Data]; every receiver then vouches with a
+      payload-free [Copy] ack instead of re-sending the payload, turning
+      O(|dest|²) payload copies into O(|dest|²) small acks plus O(|dest|)
+      payloads. A process whose [Copy] arrives before any payload pulls it
+      point-to-point with [Fetch] (the voucher necessarily holds it).
+    - Entry state is garbage-collected: once every addressee has vouched
+      and the message is locally settled, the payload, copy set and
+      destination list are dropped, leaving a small tombstone that keeps
+      delivery at-most-once. In {!Eager_nonuniform}, bulk state is
+      reclaimed after the crash-relay obligation fires.
+    - Fan-outs ride a single broadcast network event
+      ({!Runtime.Services.send_multi}) instead of one event per addressee;
+      per-destination arrival times and delivery order are unchanged. *)
 
 type 'p msg
 
@@ -40,6 +58,7 @@ val create :
   wrap:('p msg -> 'w) ->
   ?mode:mode ->
   ?oracle_delay:Des.Sim_time.t ->
+  ?fast_lanes:bool ->
   on_deliver:
     (id:Runtime.Msg_id.t ->
     origin:Net.Topology.pid ->
@@ -50,8 +69,9 @@ val create :
   ('p, 'w) t
 (** [create ~services ~wrap ~on_deliver ()] is an endpoint. [mode] defaults
     to {!Eager_nonuniform}; [oracle_delay] (default 50ms) is the detection
-    delay of the crash-relay rule. [on_deliver] fires exactly once per
-    R-Delivered message. *)
+    delay of the crash-relay rule; [fast_lanes] (default [true]) enables
+    the Copy/Fetch ack relaying and state reclamation described above.
+    [on_deliver] fires exactly once per R-Delivered message. *)
 
 val rmcast :
   ('p, 'w) t ->
@@ -66,3 +86,9 @@ val handle : ('p, 'w) t -> src:Net.Topology.pid -> 'p msg -> unit
 (** Feed an incoming reliable-multicast wire message. *)
 
 val delivered : ('p, 'w) t -> Runtime.Msg_id.t -> bool
+
+val retained_entries : ('p, 'w) t -> int
+(** Entries still holding bulk state (payload/copy set) or awaiting it. *)
+
+val reclaimed_entries : ('p, 'w) t -> int
+(** Entries reduced to at-most-once tombstones by the fast-lane GC. *)

@@ -14,6 +14,11 @@ type crash_subscription = {
   callback : Topology.pid -> unit;
 }
 
+(* [lc] is the sender's RAW clock at send time; the carried value (raw, or
+   raw+1 across groups) is computed per destination at delivery. This lets
+   one envelope serve a whole [send_multi] fan-out even when it mixes intra-
+   and inter-group destinations, and is equivalent for single sends since
+   the sender's own clock never advances on a send. *)
 type 'w envelope = { data : 'w; lc : Lclock.t; env : int }
 
 type 'w t = {
@@ -36,8 +41,10 @@ let net t =
   | Some n -> n
   | None -> assert false
 
-let handle_delivery t ~src ~dst { data; lc = carried; env } =
+let handle_delivery t ~src ~dst { data; lc; env } =
   if not t.crashed.(dst) then begin
+    let same_group = Topology.same_group t.topology src dst in
+    let carried = Lclock.on_send ~same_group lc in
     t.lcs.(dst) <- Lclock.on_receive t.lcs.(dst) ~carried;
     Trace.record t.trace
       (Receive
@@ -102,7 +109,36 @@ let services t pid =
              tag = t.tag payload;
              env;
            });
-      Network.send (net t) ~src:pid ~dst { data = payload; lc; env }
+      Network.send (net t) ~src:pid ~dst
+        { data = payload; lc = t.lcs.(pid); env }
+    end
+  in
+  let send_multi dsts payload =
+    if (not t.crashed.(pid)) && dsts <> [] then begin
+      let raw = t.lcs.(pid) in
+      (* One envelope (and one trace [env]) for the whole fan-out: the
+         Send entries below share it, which is faithful — the fan-out is
+         one causal event at the sender. *)
+      let env = t.next_env in
+      t.next_env <- env + 1;
+      let time = Scheduler.now t.sched in
+      let tag = t.tag payload in
+      List.iter
+        (fun dst ->
+          let same_group = Topology.same_group t.topology pid dst in
+          Trace.record t.trace
+            (Send
+               {
+                 time;
+                 src = pid;
+                 dst;
+                 inter_group = not same_group;
+                 lc = Lclock.on_send ~same_group raw;
+                 tag;
+                 env;
+               }))
+        dsts;
+      Network.send_multi (net t) ~src:pid ~dsts { data = payload; lc = raw; env }
     end
   in
   let set_timer ~after f =
@@ -139,6 +175,7 @@ let services t pid =
     topology = t.topology;
     rng = t.node_rngs.(pid);
     send;
+    send_multi;
     now = (fun () -> Scheduler.now t.sched);
     set_timer;
     cancel_timer = (fun h -> Scheduler.cancel t.sched h);

@@ -3,6 +3,7 @@ type 'w t = {
   topology : Net.Topology.t;
   rng : Des.Rng.t;
   send : dst:Net.Topology.pid -> 'w -> unit;
+  send_multi : Net.Topology.pid list -> 'w -> unit;
   now : unit -> Des.Sim_time.t;
   set_timer : after:Des.Sim_time.t -> (unit -> unit) -> int;
   cancel_timer : int -> unit;
@@ -16,6 +17,7 @@ type 'w t = {
 }
 
 let send_all t pids w = List.iter (fun dst -> t.send ~dst w) pids
+let send_multi t pids w = t.send_multi pids w
 let send_group t g w = send_all t (Net.Topology.members t.topology g) w
 
 let send_others_in_group t w =

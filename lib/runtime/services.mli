@@ -19,6 +19,12 @@ type 'w t = {
           (inter-group sends tick the clock), records the send in the trace
           and hands the message to the network. Silently drops if the
           sending process has crashed. *)
+  send_multi : Net.Topology.pid list -> 'w -> unit;
+      (** Fan-out send, observably equivalent to iterating {!field-send}
+          over the list, but the whole fan-out is carried by one scheduler
+          event and one envelope (the Send trace entries share an [env]
+          id). The steady-state fast lanes use this on broadcast-shaped
+          hot paths. *)
   now : unit -> Des.Sim_time.t;
   set_timer : after:Des.Sim_time.t -> (unit -> unit) -> int;
       (** One-shot timer; the callback is skipped if the process has crashed
@@ -44,6 +50,10 @@ type 'w t = {
 val send_all : 'w t -> Net.Topology.pid list -> 'w -> unit
 (** Send the same message to every listed process (including possibly
     [self]; self-sends go through the network like any other). *)
+
+val send_multi : 'w t -> Net.Topology.pid list -> 'w -> unit
+(** Like {!send_all} but through the single-event fan-out lane
+    ({!field-send_multi}). *)
 
 val send_group : 'w t -> Net.Topology.gid -> 'w -> unit
 (** Send to every member of a group. *)

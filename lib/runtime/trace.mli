@@ -15,7 +15,9 @@ type entry =
       inter_group : bool;
       lc : Lclock.t; (* clock value carried by the message *)
       tag : string; (* protocol-chosen label of the wire message kind *)
-      env : int; (* unique envelope id, matching the Receive entry *)
+      env : int;
+          (* envelope id matching the Receive entry; a broadcast fan-out
+             shares one envelope, so (env, dst) is the unique key *)
     }
   | Receive of {
       time : Des.Sim_time.t;

@@ -1,0 +1,405 @@
+(* Differential tests for the steady-state fast lanes: the fast message
+   pattern (Protocol.Config.default) and the reference pattern
+   (Protocol.Config.reference) must implement the same protocols — same
+   decisions, same deliveries — while the fast mode retains less state.
+   Complements bench/msgpath_bench.exe, which checks the Figure 1
+   workloads cell by cell. *)
+
+open Des
+open Net
+open Runtime
+
+(* ------------------------------------------------------------------ *)
+(* Consensus: a one-group Paxos deployment, parameterised by mode. *)
+
+type cdep = {
+  engine : string Consensus.Paxos.msg Engine.t;
+  endpoints : (string, string Consensus.Paxos.msg) Consensus.Paxos.t array;
+  decisions : (Topology.pid * int * string) list ref;
+}
+
+let consensus_deploy ~fast_lanes ~seed ~per_group =
+  let topo = Topology.symmetric ~groups:1 ~per_group in
+  let engine =
+    Engine.create ~seed ~latency:Util.crisp_latency ~tag:Consensus.Paxos.tag
+      topo
+  in
+  let decisions = ref [] in
+  let endpoints = Array.make per_group None in
+  List.iter
+    (fun pid ->
+      let ep =
+        Engine.spawn engine pid (fun services ->
+            let detector =
+              Fd.Detector.oracle ~delay:(Sim_time.of_ms 10) services
+            in
+            let ep =
+              Consensus.Paxos.create ~services ~wrap:Fun.id
+                ~participants:(Topology.members topo 0)
+                ~detector ~timeout:(Sim_time.of_ms 60) ~fast_lanes
+                ~on_decide:(fun ~instance v ->
+                  decisions := (pid, instance, v) :: !decisions)
+                ()
+            in
+            ( ep,
+              {
+                Engine.on_receive =
+                  (fun ~src m -> Consensus.Paxos.handle ep ~src m);
+              } ))
+      in
+      endpoints.(pid) <- Some ep)
+    (Topology.all_pids topo);
+  { engine; endpoints = Array.map Option.get endpoints; decisions }
+
+type cons_scenario = {
+  c_seed : int;
+  c_d : int;
+  c_insts : int;
+  c_crash : (Topology.pid * int) option; (* victim, crash time in us *)
+}
+
+let pp_cons_scenario s =
+  Fmt.str "{seed=%d; d=%d; insts=%d; crash=%a}" s.c_seed s.c_d s.c_insts
+    Fmt.(option (pair int int))
+    s.c_crash
+
+let cons_scenario_gen =
+  let open QCheck2.Gen in
+  let* c_seed = int_bound 100_000 in
+  let* c_d = int_range 3 5 in
+  let* c_insts = int_range 1 6 in
+  let+ c_crash =
+    let* crash = bool in
+    if crash then
+      let* victim = int_range 0 2 in
+      let+ at = int_range 500 8_000 in
+      Some (victim, at)
+    else pure None
+  in
+  { c_seed; c_d; c_insts; c_crash }
+
+(* One run: every process proposes in every instance; decisions grouped by
+   instance. *)
+let cons_run ~fast_lanes (s : cons_scenario) =
+  let d = consensus_deploy ~fast_lanes ~seed:s.c_seed ~per_group:s.c_d in
+  (match s.c_crash with
+  | Some (victim, at) ->
+    Engine.schedule_crash ~drop:Engine.Lose_all_inflight d.engine
+      ~at:(Sim_time.of_us at) victim
+  | None -> ());
+  for i = 1 to s.c_insts do
+    Array.iteri
+      (fun pid ep ->
+        Engine.at d.engine (Sim_time.of_ms i) (fun () ->
+            Consensus.Paxos.propose ep ~instance:i (Fmt.str "i%d-p%d" i pid)))
+      d.endpoints
+  done;
+  Engine.run d.engine;
+  List.init s.c_insts (fun j ->
+      let i = j + 1 in
+      List.filter_map
+        (fun (_, i', v) -> if i' = i then Some v else None)
+        !(d.decisions)
+      |> List.sort_uniq compare)
+
+(* Both modes decide, agree within the run, and decide the same value per
+   instance. *)
+let prop_paxos_differential s =
+  let fast = cons_run ~fast_lanes:true s in
+  let reference = cons_run ~fast_lanes:false s in
+  List.for_all2
+    (fun f r ->
+      match (f, r) with
+      | [ vf ], [ vr ] ->
+        vf = vr
+        || QCheck2.Test.fail_reportf "%s: fast decided %s, reference %s"
+             (pp_cons_scenario s) vf vr
+      | [], _ | _, [] ->
+        QCheck2.Test.fail_reportf "%s: an instance went undecided"
+          (pp_cons_scenario s)
+      | _ ->
+        QCheck2.Test.fail_reportf "%s: disagreement within a run"
+          (pp_cons_scenario s))
+    fast reference
+
+let test_lease_acquired () =
+  (* After a decided instance the fast-mode ballot-0 coordinator holds the
+     lease (phase 1 skipped from then on); the reference mode has no lease
+     machinery. *)
+  let run ~fast_lanes =
+    let d = consensus_deploy ~fast_lanes ~seed:0 ~per_group:3 in
+    for i = 1 to 3 do
+      Engine.at d.engine (Sim_time.of_ms i) (fun () ->
+          Consensus.Paxos.propose d.endpoints.(0) ~instance:i
+            (Fmt.str "v%d" i))
+    done;
+    Engine.run d.engine;
+    ( Consensus.Paxos.holds_lease d.endpoints.(0),
+      Network.sent_total (Engine.network d.engine) )
+  in
+  let fast_lease, fast_msgs = run ~fast_lanes:true in
+  let ref_lease, ref_msgs = run ~fast_lanes:false in
+  Alcotest.(check bool) "fast coordinator holds lease" true fast_lease;
+  Alcotest.(check bool) "reference has no lease" false ref_lease;
+  Alcotest.(check bool)
+    (Fmt.str "fast sends fewer messages (%d < %d)" fast_msgs ref_msgs)
+    true (fast_msgs < ref_msgs)
+
+let test_instance_gc () =
+  (* Fast mode prunes decided instances below the watermark; the reference
+     mode retains every decided instance. *)
+  let run ~fast_lanes =
+    let d = consensus_deploy ~fast_lanes ~seed:0 ~per_group:3 in
+    for i = 1 to 10 do
+      Array.iteri
+        (fun pid ep ->
+          Engine.at d.engine (Sim_time.of_ms i) (fun () ->
+              Consensus.Paxos.propose ep ~instance:i
+                (Fmt.str "i%d-p%d" i pid)))
+        d.endpoints
+    done;
+    Engine.run d.engine;
+    ( Consensus.Paxos.retained_instances d.endpoints.(0),
+      Consensus.Paxos.pruned_upto d.endpoints.(0) )
+  in
+  let fast_retained, fast_pruned = run ~fast_lanes:true in
+  let ref_retained, ref_pruned = run ~fast_lanes:false in
+  Alcotest.(check int) "reference retains all 10" 10 ref_retained;
+  Alcotest.(check int) "reference prunes nothing" 0 ref_pruned;
+  Alcotest.(check bool)
+    (Fmt.str "fast retains fewer (%d < 10)" fast_retained)
+    true
+    (fast_retained < 10);
+  Alcotest.(check bool)
+    (Fmt.str "fast pruned a prefix (%d > 0)" fast_pruned)
+    true (fast_pruned > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reliable multicast: Ack_uniform with and without the Copy fast lane. *)
+
+type rdep = {
+  r_engine : string Rmcast.Reliable_multicast.msg Engine.t;
+  r_endpoints :
+    (string, string Rmcast.Reliable_multicast.msg)
+    Rmcast.Reliable_multicast.t
+    array;
+  r_delivered : (Topology.pid * Msg_id.t) list ref;
+}
+
+let rmcast_deploy ~fast_lanes ~seed topology =
+  let engine =
+    Engine.create ~seed ~latency:Util.crisp_latency
+      ~tag:Rmcast.Reliable_multicast.tag topology
+  in
+  let delivered = ref [] in
+  let n = Topology.n_processes topology in
+  let endpoints = Array.make n None in
+  List.iter
+    (fun pid ->
+      let ep =
+        Engine.spawn engine pid (fun services ->
+            let ep =
+              Rmcast.Reliable_multicast.create ~services ~wrap:Fun.id
+                ~mode:Rmcast.Reliable_multicast.Ack_uniform
+                ~oracle_delay:(Sim_time.of_ms 10) ~fast_lanes
+                ~on_deliver:(fun ~id ~origin:_ ~dest:_ _ ->
+                  delivered := (pid, id) :: !delivered)
+                ()
+            in
+            ( ep,
+              {
+                Engine.on_receive =
+                  (fun ~src m -> Rmcast.Reliable_multicast.handle ep ~src m);
+              } ))
+      in
+      endpoints.(pid) <- Some ep)
+    (Topology.all_pids topology);
+  {
+    r_engine = engine;
+    r_endpoints = Array.map Option.get endpoints;
+    r_delivered = delivered;
+  }
+
+let test_rmcast_gc () =
+  (* Failure-free uniform multicast: the fast lane reclaims every entry
+     down to a tombstone once relayed + delivered + fully vouched; the
+     reference mode keeps the full entry. *)
+  let run ~fast_lanes =
+    let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+    let d = rmcast_deploy ~fast_lanes ~seed:0 topo in
+    Engine.at d.r_engine (Sim_time.of_ms 1) (fun () ->
+        Rmcast.Reliable_multicast.rmcast d.r_endpoints.(0)
+          ~id:(Msg_id.make ~origin:0 ~seq:0)
+          ~dest:[ 0; 1; 2; 3 ] "x");
+    Engine.run d.r_engine;
+    let deliverers = List.map fst !(d.r_delivered) |> List.sort compare in
+    let retained =
+      Array.fold_left
+        (fun acc ep -> acc + Rmcast.Reliable_multicast.retained_entries ep)
+        0 d.r_endpoints
+    in
+    let reclaimed =
+      Array.fold_left
+        (fun acc ep -> acc + Rmcast.Reliable_multicast.reclaimed_entries ep)
+        0 d.r_endpoints
+    in
+    (deliverers, retained, reclaimed)
+  in
+  let fast_del, fast_ret, fast_rec = run ~fast_lanes:true in
+  let ref_del, ref_ret, ref_rec = run ~fast_lanes:false in
+  Alcotest.(check (list int)) "same deliverers" ref_del fast_del;
+  Alcotest.(check (list int)) "all addressees" [ 0; 1; 2; 3 ] fast_del;
+  Alcotest.(check int) "fast reclaims every entry" 0 fast_ret;
+  Alcotest.(check int) "fast keeps 4 tombstones" 4 fast_rec;
+  Alcotest.(check int) "reference retains every entry" 4 ref_ret;
+  Alcotest.(check int) "reference reclaims nothing" 0 ref_rec
+
+let prop_rmcast_uniform_differential (seed, d, lossy) =
+  (* Ack_uniform under a crashing caster whose in-flight copies to a
+     random (but mode-independent) subset of the addressees are lost:
+     both modes deliver to exactly the same set of processes. The loss
+     pattern must be deterministic — probabilistic in-flight loss draws
+     RNG in slab order, which legitimately differs with the message
+     pattern, making both outcomes legal but different lossy runs. *)
+  let run ~fast_lanes =
+    let topo = Topology.symmetric ~groups:2 ~per_group:(1 + d) in
+    let dep = rmcast_deploy ~fast_lanes ~seed topo in
+    let rng = Rng.create (seed + 3) in
+    let dest =
+      List.filter (fun p -> Rng.bool rng || p = 1) (Topology.all_pids topo)
+    in
+    let victims = List.filter (fun p -> p <> 0 && Rng.bool rng) dest in
+    Engine.at dep.r_engine (Sim_time.of_ms 1) (fun () ->
+        Rmcast.Reliable_multicast.rmcast dep.r_endpoints.(0)
+          ~id:(Msg_id.make ~origin:0 ~seq:0)
+          ~dest "x");
+    if lossy then
+      Engine.schedule_crash ~drop:(Engine.Lose_to victims) dep.r_engine
+        ~at:(Sim_time.of_us (1_050 + Rng.int rng 500))
+        0;
+    Engine.run dep.r_engine;
+    List.map fst !(dep.r_delivered) |> List.sort_uniq Int.compare
+  in
+  let fast = run ~fast_lanes:true in
+  let reference = run ~fast_lanes:false in
+  (* The faulty caster itself may or may not complete its own delivery
+     depending on mode timing; correct processes must coincide. *)
+  let correct = List.filter (fun p -> p <> 0) in
+  correct fast = correct reference
+  || QCheck2.Test.fail_reportf
+       "seed=%d d=%d lossy=%b: fast delivered to %a, reference to %a" seed d
+       lossy
+       Fmt.(Dump.list int)
+       fast
+       Fmt.(Dump.list int)
+       reference
+
+(* ------------------------------------------------------------------ *)
+(* Engine: the broadcast lane delivers the same receives at the same
+   times as per-destination sends. *)
+
+let test_send_multi_equivalence () =
+  let run use_multi =
+    let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+    let engine =
+      Engine.create ~seed:0 ~latency:Util.crisp_latency
+        ~tag:(fun _ -> "m")
+        topo
+    in
+    let received = ref [] in
+    let svcs = Array.make 4 None in
+    List.iter
+      (fun pid ->
+        ignore
+          (Engine.spawn engine pid (fun services ->
+               svcs.(pid) <- Some services;
+               ( (),
+                 {
+                   Engine.on_receive =
+                     (fun ~src m ->
+                       received :=
+                         (pid, src, m, Sim_time.to_us (Engine.now engine))
+                         :: !received);
+                 } ))))
+      (Topology.all_pids topo);
+    Engine.at engine (Sim_time.of_ms 1) (fun () ->
+        let s = Option.get svcs.(0) in
+        if use_multi then Services.send_multi s [ 1; 2; 3 ] "x"
+        else Services.send_all s [ 1; 2; 3 ] "x");
+    Engine.run engine;
+    List.sort compare !received
+  in
+  let multi = run true in
+  let alls = run false in
+  Alcotest.(check int) "three receives" 3 (List.length multi);
+  Alcotest.(check bool) "identical receives and times" true (multi = alls)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: small campaigns must produce the same correctness outcome
+   in both modes for every protocol. Steps and retained-state counters
+   legitimately differ (that is the point of the fast lanes), and since
+   jittered latencies and probabilistic in-flight loss draw from the
+   per-run RNG once per message, the draws diverge with the message
+   pattern — so the identity comparison uses crisp, crash-free
+   deterministic scenarios (crash schedules are exercised by the direct
+   paxos/rmcast differentials above). *)
+
+let campaign_differential ?broadcast_only ?expect_genuine name proto =
+  Alcotest.test_case name `Slow (fun () ->
+      let scenarios =
+        Harness.Campaign.scenarios ?broadcast_only ~seed:99 ~runs:6 ()
+        |> List.map (fun s -> { s with Harness.Campaign.jitter = false })
+      in
+      let run config =
+        Harness.Campaign.run_scenarios proto ~config ?expect_genuine
+          scenarios
+      in
+      let fast = run Amcast.Protocol.Config.default in
+      let reference = run Amcast.Protocol.Config.reference in
+      List.iter2
+        (fun (f : Harness.Campaign.outcome) (r : Harness.Campaign.outcome) ->
+          Alcotest.(check (list string)) "violations" r.violations
+            f.violations;
+          Alcotest.(check int) "delivered" r.delivered f.delivered;
+          Alcotest.(check (option int)) "max degree" r.max_degree
+            f.max_degree;
+          Alcotest.(check bool) "drained" r.drained f.drained)
+        fast reference)
+
+let suites =
+  [
+    ( "fast-lanes",
+      [
+        Util.qcheck_case ~count:40
+          ~name:"paxos: fast and reference decide the same values"
+          cons_scenario_gen prop_paxos_differential;
+        Alcotest.test_case "paxos: coordinator lease" `Quick
+          test_lease_acquired;
+        Alcotest.test_case "paxos: decided-instance GC" `Quick
+          test_instance_gc;
+        Alcotest.test_case "rmcast: uniform entry GC" `Quick test_rmcast_gc;
+        Util.qcheck_case ~count:40
+          ~name:"rmcast: uniform delivery identical across modes"
+          QCheck2.Gen.(triple (int_bound 10_000) (int_range 1 3) bool)
+          prop_rmcast_uniform_differential;
+        Alcotest.test_case "engine: send_multi = send_all" `Quick
+          test_send_multi_equivalence;
+      ] );
+    ( "fast-lanes-campaign",
+      [
+        campaign_differential ~expect_genuine:true "a1"
+          (module Amcast.A1 : Amcast.Protocol.S);
+        campaign_differential ~broadcast_only:true "a2" (module Amcast.A2);
+        campaign_differential "via-broadcast" (module Amcast.Via_broadcast);
+        campaign_differential ~expect_genuine:true "fritzke"
+          (module Amcast.Fritzke);
+        campaign_differential ~expect_genuine:true "skeen"
+          (module Amcast.Skeen);
+        campaign_differential ~expect_genuine:true "ring"
+          (module Amcast.Ring);
+        campaign_differential ~expect_genuine:true "scalable"
+          (module Amcast.Scalable);
+        campaign_differential ~broadcast_only:true "sequencer"
+          (module Amcast.Sequencer);
+      ] );
+  ]
