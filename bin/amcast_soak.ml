@@ -9,27 +9,41 @@
    that many OCaml domains (Harness.Pool); the summaries — and the exit
    code — are bit-identical to a sequential run for any domain count.
 
-   Usage: amcast_soak [--fast-lanes on|off] [RUNS] [SEED] [DOMAINS]
+   Usage: amcast_soak [--fast-lanes on|off] [--nemesis on|off]
+                      [RUNS] [SEED] [DOMAINS]
    DOMAINS defaults to 1 (sequential); pass 0 for the recommended domain
    count of this machine. --fast-lanes defaults to "on"; "off" soaks the
-   reference message pattern instead of the fast lanes. *)
+   reference message pattern instead of the fast lanes. --nemesis defaults
+   to "off"; "on" replays a seeded fault plan (partition/heal windows,
+   latency spikes, FD storms, crash schedule) against every run, with
+   liveness asserted only after each plan's final heal. *)
 
 let () =
   let config = ref Amcast.Protocol.Config.default in
+  let nemesis = ref false in
   let positional = ref [] in
+  let on_off flag value =
+    match value with
+    | "on" -> true
+    | "off" -> false
+    | _ ->
+      Printf.eprintf "amcast_soak: %s must be \"on\" or \"off\"\n" flag;
+      exit 2
+  in
   let rec parse i =
     if i < Array.length Sys.argv then
       match Sys.argv.(i) with
       | "--fast-lanes" when i + 1 < Array.length Sys.argv ->
-        (match Sys.argv.(i + 1) with
-        | "on" -> config := Amcast.Protocol.Config.default
-        | "off" -> config := Amcast.Protocol.Config.reference
-        | _ ->
-          prerr_endline "amcast_soak: --fast-lanes must be \"on\" or \"off\"";
-          exit 2);
+        config :=
+          (if on_off "--fast-lanes" Sys.argv.(i + 1) then
+             Amcast.Protocol.Config.default
+           else Amcast.Protocol.Config.reference);
         parse (i + 2)
-      | "--fast-lanes" ->
-        prerr_endline "amcast_soak: --fast-lanes needs an argument";
+      | "--nemesis" when i + 1 < Array.length Sys.argv ->
+        nemesis := on_off "--nemesis" Sys.argv.(i + 1);
+        parse (i + 2)
+      | ("--fast-lanes" | "--nemesis") as flag ->
+        Printf.eprintf "amcast_soak: %s needs an argument\n" flag;
         exit 2
       | a ->
         positional := a :: !positional;
@@ -38,6 +52,7 @@ let () =
   parse 1;
   let positional = Array.of_list (List.rev !positional) in
   let config = !config in
+  let with_nemesis = !nemesis in
   let runs =
     if Array.length positional > 0 then int_of_string positional.(0) else 50
   in
@@ -87,13 +102,14 @@ let () =
            expect_genuine,
            check_causal,
            check_quiescence ) ->
-      Fmt.pr "@.== %s: %d runs%s%s ==@." name runs
+      Fmt.pr "@.== %s: %d runs%s%s%s ==@." name runs
         (if with_crashes then " (with crash injection)" else "")
+        (if with_nemesis then " (with nemesis plans)" else "")
         (if domains > 1 then Fmt.str " on %d domains" domains else "");
       let summary =
         Harness.Campaign.run_parallel proto ~config ~expect_genuine
           ~check_causal ~check_quiescence ~broadcast_only ~with_crashes
-          ~domains ~seed ~runs ()
+          ~with_nemesis ~domains ~seed ~runs ()
       in
       Fmt.pr "%a@." Harness.Campaign.pp_summary summary;
       if summary.failures <> [] then failed := true)

@@ -281,7 +281,7 @@ let create ~services ~config ~deliver =
           ~wrap:(fun m -> Hb m)
           ~monitored:
             (Topology.members services.Services.topology t.my_group)
-          ~period ~timeout
+          ~period ~timeout ()
       in
       t.hb <- Some hb;
       Fd.Heartbeat.detector hb

@@ -246,7 +246,7 @@ let create ~services ~config ~deliver =
         Fd.Heartbeat.create ~services
           ~wrap:(fun m -> Hb m)
           ~monitored:(Topology.members topology my_group)
-          ~period ~timeout
+          ~period ~timeout ()
       in
       t.hb <- Some hb;
       Fd.Heartbeat.detector hb

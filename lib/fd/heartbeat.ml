@@ -15,6 +15,7 @@ type 'w t = {
   wrap : msg -> 'w;
   peers : (Net.Topology.pid, peer) Hashtbl.t;
   period : Sim_time.t;
+  max_timeout : Sim_time.t;
   mutable seq : int;
   mutable listeners : (unit -> unit) list;
   mutable stopped : bool;
@@ -42,9 +43,13 @@ and handle t ~src (Ping _) =
       | Some h -> t.services.cancel_timer h
       | None -> ());
       if peer.suspected then begin
-        (* False suspicion: revoke and back off, the ◇P adaptation rule. *)
+        (* False suspicion: revoke and back off, the ◇P adaptation rule.
+           The doubling is capped at [max_timeout] — unbounded back-off
+           would let an FD storm (repeated false suspicions) push the
+           timeout past any run horizon, turning the detector inert. *)
         peer.suspected <- false;
-        peer.timeout <- Sim_time.add peer.timeout peer.timeout;
+        peer.timeout <-
+          Sim_time.min t.max_timeout (Sim_time.add peer.timeout peer.timeout);
         notify t
       end;
       arm_deadline t src peer
@@ -57,13 +62,40 @@ let rec beat t =
     t.beat_timer <- Some (t.services.set_timer ~after:t.period (fun () -> beat t))
   end
 
-let create ~services ~wrap ~monitored ~period ~timeout =
+(* Timed FD perturbation (the nemesis Fd_storm hook): rescale every peer's
+   current timeout and re-arm any pending deadline under the new value, so
+   a shrink takes effect immediately rather than at the next heartbeat.
+   Clamped to [1us, max_timeout]; the ◇P back-off rule then walks a shrunk
+   timeout back up as the resulting false suspicions are revoked. *)
+let perturb t scale =
+  if not t.stopped then
+    Hashtbl.iter
+      (fun pid peer ->
+        let scaled =
+          Sim_time.of_us
+            (max 1 (int_of_float (scale *. float_of_int (Sim_time.to_us peer.timeout))))
+        in
+        peer.timeout <- Sim_time.min t.max_timeout scaled;
+        match peer.deadline_timer with
+        | Some h ->
+          t.services.cancel_timer h;
+          arm_deadline t pid peer
+        | None -> ())
+      t.peers
+
+let create ?max_timeout ~services ~wrap ~monitored ~period ~timeout () =
+  let max_timeout =
+    match max_timeout with
+    | Some m -> m
+    | None -> Sim_time.of_us (32 * Sim_time.to_us timeout)
+  in
   let t =
     {
       services;
       wrap;
       peers = Hashtbl.create 8;
       period;
+      max_timeout;
       seq = 0;
       listeners = [];
       stopped = false;
@@ -78,6 +110,7 @@ let create ~services ~wrap ~monitored ~period ~timeout =
         arm_deadline t pid peer
       end)
     monitored;
+  services.Runtime.Services.on_fd_perturb (fun scale -> perturb t scale);
   beat t;
   t
 

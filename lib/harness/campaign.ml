@@ -9,6 +9,7 @@ type scenario = {
   broadcast_only : bool;
   with_crashes : bool;
   jitter : bool;
+  nemesis : bool;
 }
 
 type outcome = {
@@ -31,7 +32,8 @@ type summary = {
   retained_total : (string * int) list;
 }
 
-let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true) () =
+let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true)
+    ?(with_nemesis = false) () =
   {
     seed = Rng.int rng 1_000_000_000;
     groups = 2 + Rng.int rng 3;
@@ -40,17 +42,22 @@ let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true) () =
     broadcast_only;
     with_crashes;
     jitter = Rng.bool rng;
+    nemesis = with_nemesis;
   }
 
 (* Scenarios in generation order: only this loop draws from the campaign
    rng (each run re-seeds from its scenario), so generating everything up
    front gives the exact scenario list the sequential and the parallel
    drivers share. *)
-let scenarios ?broadcast_only ?with_crashes ~seed ~runs () =
+let scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs () =
   let rng = Rng.create seed in
   let rec gen acc n =
     if n = 0 then List.rev acc
-    else gen (random_scenario rng ?broadcast_only ?with_crashes () :: acc) (n - 1)
+    else
+      gen
+        (random_scenario rng ?broadcast_only ?with_crashes ?with_nemesis ()
+        :: acc)
+        (n - 1)
   in
   gen [] runs
 
@@ -106,8 +113,20 @@ let run_one (module P : Amcast.Protocol.S) ?config ?(expect_genuine = false)
       ~arrival:(`Poisson (Sim_time.of_ms 25))
       ()
   in
-  let faults = faults_for s topo in
-  let dep = R.deploy ~seed:s.seed ~latency ?config ~faults topo in
+  (* Under a nemesis plan the crash schedule comes from the plan itself
+     (same minority-per-group policy, so group consensus keeps a correct
+     majority), and [faults_for] is skipped — otherwise the two schedules
+     would compound and could crash a majority. *)
+  let nemesis =
+    if not s.nemesis then None
+    else
+      Some
+        (Nemesis.generate
+           ~rng:(Rng.create (s.seed + 7919))
+           ~topology:topo ~with_crashes:s.with_crashes ())
+  in
+  let faults = if s.nemesis then [] else faults_for s topo in
+  let dep = R.deploy ~seed:s.seed ~latency ?config ~faults ?nemesis topo in
   ignore (R.schedule dep workload);
   let r = R.run_deployment dep in
   let retained =
@@ -119,7 +138,8 @@ let run_one (module P : Amcast.Protocol.S) ?config ?(expect_genuine = false)
     violations =
       Checker.check_all
         ~expect_genuine:(expect_genuine && not s.with_crashes)
-        ~check_causal ~check_quiescence r;
+        ~check_causal ~check_quiescence
+        ?liveness_from:(Option.map Nemesis.liveness_from nemesis) r;
     delivered = Metrics.delivered_count r;
     max_degree = Metrics.max_latency_degree r;
     drained = r.drained;
@@ -160,26 +180,28 @@ let run_scenarios_parallel proto ?config ?expect_genuine ?check_causal
   |> Array.to_list
 
 let run proto ?config ?expect_genuine ?check_causal ?check_quiescence
-    ?broadcast_only ?with_crashes ~seed ~runs () =
-  scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
+    ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs () =
+  scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs ()
   |> run_scenarios proto ?config ?expect_genuine ?check_causal
        ?check_quiescence
   |> summarize
 
 let run_parallel proto ?config ?expect_genuine ?check_causal
-    ?check_quiescence ?broadcast_only ?with_crashes ?domains ~seed ~runs () =
-  scenarios ?broadcast_only ?with_crashes ~seed ~runs ()
+    ?check_quiescence ?broadcast_only ?with_crashes ?with_nemesis ?domains
+    ~seed ~runs () =
+  scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs ()
   |> run_scenarios_parallel proto ?config ?expect_genuine ?check_causal
        ?check_quiescence ?domains
   |> summarize
 
 let pp_scenario ppf s =
   Fmt.pf ppf
-    "seed=%d groups=%d d=%d msgs=%d%s%s%s" s.seed s.groups s.per_group
+    "seed=%d groups=%d d=%d msgs=%d%s%s%s%s" s.seed s.groups s.per_group
     s.n_msgs
     (if s.broadcast_only then " broadcast" else "")
     (if s.with_crashes then " crashes" else "")
     (if s.jitter then " jitter" else "")
+    (if s.nemesis then " nemesis" else "")
 
 let pp_summary ppf t =
   Fmt.pf ppf "@[<v>%d runs, %d clean, %d messages delivered, %d events@,"

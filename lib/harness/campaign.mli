@@ -20,6 +20,14 @@ type scenario = {
       (** Crash up to a minority of each group at random instants, with
           random in-flight-loss patterns. *)
   jitter : bool;  (** WAN jitter vs crisp deterministic latencies. *)
+  nemesis : bool;
+      (** Replay a seeded {!Nemesis} plan against the run: partition/heal
+          windows, latency spikes, FD storms, and — when [with_crashes] —
+          the crash schedule (which then {e replaces} the [faults_for]
+          schedule, keeping the crashed set a minority of each group).
+          Liveness checks are gated on the plan's final heal
+          ({!Checker.check_all}'s [liveness_from]); safety checks stay
+          unconditional. *)
 }
 
 type outcome = {
@@ -51,12 +59,14 @@ val random_scenario :
   Des.Rng.t ->
   ?broadcast_only:bool ->
   ?with_crashes:bool ->
+  ?with_nemesis:bool ->
   unit ->
   scenario
 
 val scenarios :
   ?broadcast_only:bool ->
   ?with_crashes:bool ->
+  ?with_nemesis:bool ->
   seed:int ->
   runs:int ->
   unit ->
@@ -105,6 +115,7 @@ val run :
   ?check_quiescence:bool ->
   ?broadcast_only:bool ->
   ?with_crashes:bool ->
+  ?with_nemesis:bool ->
   seed:int ->
   runs:int ->
   unit ->
@@ -118,6 +129,7 @@ val run_parallel :
   ?check_quiescence:bool ->
   ?broadcast_only:bool ->
   ?with_crashes:bool ->
+  ?with_nemesis:bool ->
   ?domains:int ->
   seed:int ->
   runs:int ->

@@ -54,13 +54,22 @@ val check_all :
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
+  ?liveness_from:Des.Sim_time.t ->
   Run_result.t ->
   violation list
 (** Integrity + validity + agreement + prefix order, plus genuineness when
     [expect_genuine], causal delivery order when [check_causal] and
     quiescence when [check_quiescence] (all default false). [check_causal]
     needs the trace; [check_quiescence] only makes sense on runs executed
-    without a horizon by a protocol that stops scheduling when idle. *)
+    without a horizon by a protocol that stops scheduling when idle.
+
+    [liveness_from] (default {!Des.Sim_time.zero}) is the safety/liveness
+    split for runs under a fault plan: the liveness checks — validity,
+    agreement and quiescence — are only applied if the run's [end_time]
+    reached [liveness_from] (pass {!Nemesis.liveness_from} of the plan,
+    i.e. its final heal). The safety checks are applied unconditionally:
+    no fault schedule excuses an ordering, integrity or genuineness
+    violation. *)
 
 (** The pre-index quadratic checkers, kept verbatim as differential
     oracles for the fast paths above: on every run, each reference checker

@@ -1,0 +1,188 @@
+(* Declarative, deterministic fault plans (see nemesis.mli).
+
+   A plan is pure data: the runner replays it against a deployment by
+   scheduling one engine action per step, so a run under a nemesis plan
+   stays a pure function of (topology, latency, seed, program, plan). The
+   validation in [make] encodes the one structural invariant the harness
+   depends on: every partition is eventually healed, because partitioned
+   traffic is parked at [Sim_time.infinity] and a run-to-quiescence over an
+   unhealed plan would simply pop those events at the end of time. *)
+
+open Des
+open Net
+
+type action =
+  | Partition of { side_a : Topology.gid list; side_b : Topology.gid list }
+  | Heal_all
+  | Crash of { pid : Topology.pid; drop : Runtime.Engine.drop_spec }
+  | Latency_spike of {
+      src_group : Topology.gid;
+      dst_group : Topology.gid;
+      factor : float;
+      duration : Sim_time.t;
+    }
+  | Fd_storm of { scale : float }
+
+type step = { at : Sim_time.t; action : action }
+type t = { steps : step list }
+
+(* The instant a step stops acting on the system: a latency spike occupies
+   a window, everything else is instantaneous. *)
+let step_end { at; action } =
+  match action with
+  | Latency_spike { duration; _ } -> Sim_time.add at duration
+  | Partition _ | Heal_all | Crash _ | Fd_storm _ -> at
+
+let make steps =
+  let steps =
+    List.stable_sort (fun a b -> Sim_time.compare a.at b.at) steps
+  in
+  let healed_after at =
+    List.exists
+      (fun s ->
+        match s.action with
+        | Heal_all -> Sim_time.( < ) at s.at
+        | _ -> false)
+      steps
+  in
+  List.iter
+    (fun s ->
+      match s.action with
+      | Partition _ when not (healed_after s.at) ->
+        invalid_arg
+          "Nemesis.make: a Partition step has no Heal_all strictly after \
+           it; the plan would park cross-cut traffic forever"
+      | _ -> ())
+    steps;
+  { steps }
+
+let steps t = t.steps
+let is_empty t = t.steps = []
+
+let liveness_from t =
+  List.fold_left (fun acc s -> Sim_time.max acc (step_end s)) Sim_time.zero
+    t.steps
+
+let apply t eng =
+  let net = Runtime.Engine.network eng in
+  List.iter
+    (fun { at; action } ->
+      match action with
+      | Partition { side_a; side_b } ->
+        Runtime.Engine.at eng at (fun () ->
+            Network.partition_groups net side_a side_b)
+      | Heal_all -> Runtime.Engine.at eng at (fun () -> Network.heal_all net)
+      | Crash { pid; drop } -> Runtime.Engine.schedule_crash ~drop eng ~at pid
+      | Latency_spike { src_group; dst_group; factor; duration } ->
+        Runtime.Engine.at eng at (fun () ->
+            Network.latency_scale net ~src_group ~dst_group factor);
+        Runtime.Engine.at eng (Sim_time.add at duration) (fun () ->
+            Network.latency_scale net ~src_group ~dst_group 1.0)
+      | Fd_storm { scale } ->
+        Runtime.Engine.at eng at (fun () ->
+            Runtime.Engine.perturb_fd eng scale))
+    t.steps
+
+(* Seeded plan generation. All draws come from the caller's [rng] in a
+   fixed order, so the plan is a pure function of the rng state and the
+   topology shape. Times are scaled to [horizon] so small smoke plans and
+   long soak plans share one recipe. *)
+let generate ~rng ~topology ?(with_crashes = true) ?(with_storms = true)
+    ?(horizon = Sim_time.of_ms 400) () =
+  let h = Sim_time.to_us horizon in
+  let h = max h 10_000 in
+  let groups = Topology.all_groups topology in
+  let m = List.length groups in
+  let steps = ref [] in
+  let push at action = steps := { at = Sim_time.of_us at; action } :: !steps in
+  (* Partition/heal windows: only meaningful across groups. Each window
+     cuts a random non-trivial group split, then heals everything. *)
+  if m >= 2 then begin
+    let windows = 1 + Rng.int rng 2 in
+    for _ = 1 to windows do
+      let k = 1 + Rng.int rng (m - 1) in
+      let side_a = Rng.sample_without_replacement rng k groups in
+      let side_b =
+        List.filter (fun g -> not (List.mem g side_a)) groups
+      in
+      let start = 1_000 + Rng.int rng (h * 3 / 4) in
+      let len = (h / 20) + Rng.int rng (h * 3 / 8) in
+      push start (Partition { side_a; side_b });
+      push (start + len) Heal_all
+    done
+  end;
+  (* Latency spikes: factor in [2, 8), window sized to the horizon. *)
+  let spikes = Rng.int rng 3 in
+  for _ = 1 to spikes do
+    let src_group = Rng.int rng m and dst_group = Rng.int rng m in
+    let factor = 2.0 +. Rng.float rng 6.0 in
+    let start = 1_000 + Rng.int rng (h * 3 / 4) in
+    let duration = Sim_time.of_us ((h / 20) + Rng.int rng (h / 4)) in
+    push start (Latency_spike { src_group; dst_group; factor; duration })
+  done;
+  (* FD storm: shrink timeouts hard enough to force false suspicions.
+     Harmless (a no-op) under the oracle detector. *)
+  if with_storms && Rng.bool rng then begin
+    let scale = 0.05 +. Rng.float rng 0.15 in
+    let start = 1_000 + Rng.int rng (h * 3 / 4) in
+    push start (Fd_storm { scale })
+  end;
+  (* Crashes: at most a minority of each group, so per-group consensus
+     keeps a correct majority and the run stays live after the heal. *)
+  if with_crashes then
+    List.iter
+      (fun g ->
+        let members = Topology.members topology g in
+        let max_crash = (List.length members - 1) / 2 in
+        if max_crash > 0 then begin
+          let n = Rng.int rng (max_crash + 1) in
+          let victims = Rng.sample_without_replacement rng n members in
+          List.iter
+            (fun pid ->
+              let drop =
+                match Rng.int rng 3 with
+                | 0 -> Runtime.Engine.Keep_inflight
+                | 1 -> Runtime.Engine.Lose_all_inflight
+                | _ -> Runtime.Engine.Lose_each_with_probability 0.5
+              in
+              let at = 1_000 + Rng.int rng (h * 3 / 4) in
+              push at (Crash { pid; drop }))
+            victims
+        end)
+      groups;
+  (* Terminal heal, strictly after every other step's end: the instant
+     from which the run owes liveness again. *)
+  let provisional = make !steps in
+  let last = Sim_time.to_us (liveness_from provisional) in
+  push (last + 1_000) Heal_all;
+  make !steps
+
+let pp_action ppf = function
+  | Partition { side_a; side_b } ->
+    Fmt.pf ppf "partition %a | %a"
+      Fmt.(list ~sep:comma int)
+      side_a
+      Fmt.(list ~sep:comma int)
+      side_b
+  | Heal_all -> Fmt.string ppf "heal-all"
+  | Crash { pid; drop } ->
+    let drop_s =
+      match drop with
+      | Runtime.Engine.Keep_inflight -> "keep-inflight"
+      | Runtime.Engine.Lose_all_inflight -> "lose-all-inflight"
+      | Runtime.Engine.Lose_to _ -> "lose-to"
+      | Runtime.Engine.Lose_each_with_probability p ->
+        Printf.sprintf "lose-each-p=%.2f" p
+    in
+    Fmt.pf ppf "crash p%d (%s)" pid drop_s
+  | Latency_spike { src_group; dst_group; factor; duration } ->
+    Fmt.pf ppf "spike g%d->g%d x%.1f for %a" src_group dst_group factor
+      Sim_time.pp duration
+  | Fd_storm { scale } -> Fmt.pf ppf "fd-storm x%.2f" scale
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf s ->
+          pf ppf "%a: %a" Sim_time.pp s.at pp_action s.action))
+    t.steps

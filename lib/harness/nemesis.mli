@@ -1,0 +1,95 @@
+(** Declarative, deterministic fault plans ("nemesis schedules").
+
+    A plan is a timed list of adversarial actions replayed against a
+    deployment: group-set partitions and heals, crash-stop failures with
+    in-flight-loss patterns, latency spikes that scale a link's delay
+    distribution for a window, and FD storms that shrink heartbeat
+    timeouts to force false suspicions. The same plan applied to the same
+    deployment yields the same run — plans are data, not callbacks, so a
+    campaign can generate, log and replay them from a scenario seed.
+
+    The model discipline: every action preserves the asynchronous model's
+    safety assumptions (partitions buffer rather than drop, spikes keep
+    delays finite, storms only mistune detectors), so safety — order,
+    integrity, genuineness — must hold at every instant of a nemesis run,
+    while liveness is only owed after the plan's {!liveness_from} instant
+    (its final heal). {!Checker.check_all}'s [liveness_from] argument
+    implements exactly that split. *)
+
+open Des
+open Net
+
+type action =
+  | Partition of { side_a : Topology.gid list; side_b : Topology.gid list }
+      (** Bidirectional partition between two group sets
+          ({!Net.Network.partition_groups}): traffic across the cut is
+          buffered until a heal. *)
+  | Heal_all
+      (** Remove every partition and hold; buffered traffic is released
+          with fresh latency samples ({!Net.Network.heal_all}). *)
+  | Crash of { pid : Topology.pid; drop : Runtime.Engine.drop_spec }
+      (** Crash-stop failure with the given in-flight-loss pattern. *)
+  | Latency_spike of {
+      src_group : Topology.gid;
+      dst_group : Topology.gid;
+      factor : float;
+      duration : Sim_time.t;
+    }
+      (** Scale the link's sampled delays by [factor] for [duration]
+          ({!Net.Network.latency_scale}); the link reverts to the base
+          distribution when the window closes. *)
+  | Fd_storm of { scale : float }
+      (** Multiply every live heartbeat detector's adaptive timeouts by
+          [scale] ({!Runtime.Engine.perturb_fd}). [scale < 1] forces false
+          suspicions; the ◇P back-off then walks the timeouts back up, so
+          a storm needs no explicit end action. No-op under the oracle
+          detector. *)
+
+type step = { at : Sim_time.t; action : action }
+
+type t
+(** A validated plan: steps sorted by time, every partition eventually
+    healed. *)
+
+val make : step list -> t
+(** [make steps] sorts the steps by time (stable for equal instants) and
+    validates them.
+    @raise Invalid_argument if some [Partition] step has no [Heal_all]
+    strictly after it — such a plan would leave traffic parked forever and
+    no liveness instant would exist. *)
+
+val steps : t -> step list
+(** The plan's steps in execution order. *)
+
+val is_empty : t -> bool
+
+val liveness_from : t -> Sim_time.t
+(** The instant from which the run owes liveness again: the latest end of
+    any step (a [Latency_spike] ends at [at + duration], everything else
+    at [at]). [Sim_time.zero] for the empty plan. Validation guarantees
+    the final heal is at or before this instant. *)
+
+val apply : t -> 'w Runtime.Engine.t -> unit
+(** Schedules every step of the plan against the engine (via
+    {!Runtime.Engine.at}); the simulation replays them as it runs. Call
+    after the deployment is spawned and before running. *)
+
+val generate :
+  rng:Rng.t ->
+  topology:Topology.t ->
+  ?with_crashes:bool ->
+  ?with_storms:bool ->
+  ?horizon:Sim_time.t ->
+  unit ->
+  t
+(** [generate ~rng ~topology ()] derives a random-but-seeded plan sized to
+    the topology: one or two partition/heal windows over random group
+    splits (multi-group topologies only), up to two latency spikes, an
+    optional FD storm (unless [with_storms] is [false]), and — when
+    [with_crashes] (default [true]) — crashes of at most a minority of
+    each group with random drop specs, so group consensus stays live.
+    Every action lands within [horizon] (default 400ms) and a terminal
+    [Heal_all] strictly after every other step closes the plan. The same
+    [rng] state yields the same plan. *)
+
+val pp : Format.formatter -> t -> unit

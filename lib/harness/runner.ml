@@ -17,7 +17,7 @@ module Make (P : Amcast.Protocol.S) = struct
 
   let deploy ?(seed = 0) ?(latency = Latency.wan_default)
       ?(config = Amcast.Protocol.Config.default) ?(record_trace = true)
-      ?(faults = []) topology =
+      ?(faults = []) ?nemesis topology =
     let engine = Engine.create ~seed ~latency ~record_trace ~tag:P.tag topology in
     let n = Topology.n_processes topology in
     let d =
@@ -55,6 +55,7 @@ module Make (P : Amcast.Protocol.S) = struct
     List.iter
       (fun { at; pid; drop } -> Engine.schedule_crash ~drop engine ~at pid)
       faults;
+    Option.iter (fun plan -> Nemesis.apply plan engine) nemesis;
     d
 
   let engine d = d.engine
@@ -105,9 +106,11 @@ module Make (P : Amcast.Protocol.S) = struct
       ~drained:(Scheduler.pending sched = 0)
       ~events_executed:(Scheduler.executed sched) ()
 
-  let run ?seed ?latency ?config ?record_trace ?faults ?until ?max_steps
-      topology workload =
-    let d = deploy ?seed ?latency ?config ?record_trace ?faults topology in
+  let run ?seed ?latency ?config ?record_trace ?faults ?nemesis ?until
+      ?max_steps topology workload =
+    let d =
+      deploy ?seed ?latency ?config ?record_trace ?faults ?nemesis topology
+    in
     ignore (schedule d workload);
     run_deployment ?until ?max_steps d
   end

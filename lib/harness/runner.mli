@@ -34,9 +34,13 @@ module Make (P : Amcast.Protocol.S) : sig
     ?config:Amcast.Protocol.Config.t ->
     ?record_trace:bool ->
     ?faults:fault list ->
+    ?nemesis:Nemesis.t ->
     Net.Topology.t ->
     deployment
-  (** Creates the engine and spawns every process. *)
+  (** Creates the engine and spawns every process. [nemesis] (default
+      none) is a fault plan replayed against the deployment
+      ({!Nemesis.apply}); check the resulting run with
+      [Checker.check_all ~liveness_from:(Nemesis.liveness_from plan)]. *)
 
   val engine : deployment -> P.wire Runtime.Engine.t
   val node : deployment -> Net.Topology.pid -> P.t
@@ -69,6 +73,7 @@ module Make (P : Amcast.Protocol.S) : sig
     ?config:Amcast.Protocol.Config.t ->
     ?record_trace:bool ->
     ?faults:fault list ->
+    ?nemesis:Nemesis.t ->
     ?until:Des.Sim_time.t ->
     ?max_steps:int ->
     Net.Topology.t ->

@@ -41,6 +41,7 @@ type 'w t = {
   mutable free : int array;
   mutable free_top : int;
   holds : (Topology.gid * Topology.gid, Sim_time.t) Hashtbl.t;
+  scales : (Topology.gid * Topology.gid, float) Hashtbl.t;
   mutable send_filter : (src:Topology.pid -> dst:Topology.pid -> bool) option;
   mutable taps : (src:Topology.pid -> dst:Topology.pid -> 'w -> unit) list;
   mutable sent_total : int;
@@ -59,6 +60,7 @@ let create ~sched ~topology ~latency ~rng ~deliver =
     free = [||];
     free_top = 0;
     holds = Hashtbl.create 8;
+    scales = Hashtbl.create 8;
     send_filter = None;
     taps = [];
     sent_total = 0;
@@ -121,6 +123,17 @@ let schedule_delivery t ~src ~dst ~arrival payload =
    between [send] and [send_multi] so the two paths are observably
    equivalent (filter, counters, taps and rng draws happen in the same
    order). Returns [None] when the filter rejects the destination. *)
+(* One latency draw on a link, with any active spike scale applied — shared
+   by admission and by [heal]'s re-scheduling so a spiked link stays spiked
+   for messages released from a partition. *)
+let sample_delay t ~src_group ~dst_group =
+  let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
+  match Hashtbl.find_opt t.scales (src_group, dst_group) with
+  | None -> delay
+  | Some s ->
+    Sim_time.of_us
+      (max 0 (int_of_float (s *. float_of_int (Sim_time.to_us delay))))
+
 let admit t ~src ~src_group ~dst payload =
   let admitted =
     match t.send_filter with
@@ -134,7 +147,7 @@ let admit t ~src ~src_group ~dst payload =
     if src_group = dst_group then t.sent_intra <- t.sent_intra + 1
     else t.sent_inter <- t.sent_inter + 1;
     List.iter (fun tap -> tap ~src ~dst payload) t.taps;
-    let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
+    let delay = sample_delay t ~src_group ~dst_group in
     let arrival = Sim_time.add (Scheduler.now t.sched) delay in
     Some (Sim_time.max arrival (hold_floor t ~src_group ~dst_group))
   end
@@ -228,7 +241,7 @@ let heal t ~src_group ~dst_group =
       (fun (i, m) ->
         Scheduler.cancel t.sched m.handle;
         release_slot t i;
-        let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
+        let delay = sample_delay t ~src_group ~dst_group in
         let arrival = Sim_time.add (Scheduler.now t.sched) delay in
         schedule_delivery t ~src:m.src ~dst:m.dst ~arrival m.payload)
       (inflight_on_link t ~src_group ~dst_group)
@@ -266,6 +279,11 @@ let drop_inflight t pred =
       release_slot t i)
     !victims;
   List.length !victims
+
+let latency_scale t ~src_group ~dst_group scale =
+  if scale <= 0. then invalid_arg "Network.latency_scale: scale must be > 0";
+  if scale = 1.0 then Hashtbl.remove t.scales (src_group, dst_group)
+  else Hashtbl.replace t.scales (src_group, dst_group) scale
 
 let set_send_filter t f = t.send_filter <- f
 let on_send t tap = t.taps <- t.taps @ [ tap ]

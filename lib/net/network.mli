@@ -71,6 +71,16 @@ val partition_groups : 'w t -> Topology.gid list -> Topology.gid list -> unit
 val heal_all : 'w t -> unit
 (** Removes every partition and hold. *)
 
+val latency_scale :
+  'w t -> src_group:Topology.gid -> dst_group:Topology.gid -> float -> unit
+(** [latency_scale t ~src_group ~dst_group s] multiplies every delay sampled
+    on the [src_group]→[dst_group] link by [s] from now on (a latency spike
+    for [s > 1], an anomalously fast link for [s < 1]). Messages already in
+    flight keep their arrival times — the scale perturbs the link's delay
+    distribution at admission, not the queue. [s = 1.0] resets the link to
+    the base model. Delays stay finite, so quasi-reliability is preserved.
+    @raise Invalid_argument if [s <= 0]. *)
+
 val drop_inflight :
   'w t -> (src:Topology.pid -> dst:Topology.pid -> bool) -> int
 (** Cancels in-flight messages matching the predicate; returns how many were

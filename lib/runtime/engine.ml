@@ -10,6 +10,7 @@ type drop_spec =
   | Lose_each_with_probability of float
 
 type crash_subscription = {
+  subscriber : Topology.pid;
   delay : Sim_time.t;
   callback : Topology.pid -> unit;
 }
@@ -34,6 +35,9 @@ type 'w t = {
   crashed : bool array;
   fault_rng : Rng.t;
   mutable crash_subs : crash_subscription list;
+  mutable fd_subs : (Topology.pid * (float -> unit)) list;
+      (* registration order; failure detectors subscribe to timed timeout
+         perturbation (the nemesis Fd_storm hook) *)
 }
 
 let net t =
@@ -42,17 +46,20 @@ let net t =
   | None -> assert false
 
 let handle_delivery t ~src ~dst { data; lc; env } =
-  if not t.crashed.(dst) then begin
-    let same_group = Topology.same_group t.topology src dst in
-    let carried = Lclock.on_send ~same_group lc in
-    t.lcs.(dst) <- Lclock.on_receive t.lcs.(dst) ~carried;
-    Trace.record t.trace
-      (Receive
-         { time = Scheduler.now t.sched; src; dst; lc = t.lcs.(dst); env });
+  (* A pid without a spawned node consumes nothing: advancing its Lamport
+     clock or logging a Receive for it would fabricate causal events at a
+     process that does not exist in the deployment. *)
+  if not t.crashed.(dst) then
     match t.nodes.(dst) with
     | None -> ()
-    | Some node -> node.on_receive ~src data
-  end
+    | Some node ->
+      let same_group = Topology.same_group t.topology src dst in
+      let carried = Lclock.on_send ~same_group lc in
+      t.lcs.(dst) <- Lclock.on_receive t.lcs.(dst) ~carried;
+      Trace.record t.trace
+        (Receive
+           { time = Scheduler.now t.sched; src; dst; lc = t.lcs.(dst); env });
+      node.on_receive ~src data
 
 let create ?(seed = 0) ?(latency = Latency.wan_default)
     ?(record_trace = true) ~tag topology =
@@ -76,6 +83,7 @@ let create ?(seed = 0) ?(latency = Latency.wan_default)
       crashed = Array.make n false;
       fault_rng;
       crash_subs = [];
+      fd_subs = [];
     }
   in
   let network =
@@ -160,16 +168,21 @@ let services t pid =
       (Note { time = Scheduler.now t.sched; pid; text })
   in
   let on_crash_detected ~delay callback =
-    t.crash_subs <- { delay; callback } :: t.crash_subs;
+    t.crash_subs <- { subscriber = pid; delay; callback } :: t.crash_subs;
     (* Already-crashed processes are reported too: find them via the flag
        array (their crash entries are in the trace, but scanning flags is
-       enough since detection delay counts from now in that case). *)
+       enough since detection delay counts from now in that case). The
+       subscriber guard is checked at fire time, like [set_timer]'s: a
+       detector on a process that has itself died must stay silent. *)
     Array.iteri
       (fun q dead ->
         if dead then
-          ignore (Scheduler.after t.sched delay (fun () -> callback q)))
+          ignore
+            (Scheduler.after t.sched delay (fun () ->
+                 if not t.crashed.(pid) then callback q)))
       t.crashed
   in
+  let on_fd_perturb f = t.fd_subs <- t.fd_subs @ [ (pid, f) ] in
   {
     Services.self = pid;
     topology = t.topology;
@@ -185,6 +198,7 @@ let services t pid =
     note;
     alive = (fun q -> not t.crashed.(q));
     on_crash_detected;
+    on_fd_perturb;
   }
 
 let spawn t pid make =
@@ -216,10 +230,21 @@ let schedule_crash ?(drop = Keep_inflight) t ~at pid =
            in
            ignore dropped;
            List.iter
-             (fun { delay; callback } ->
-               ignore (Scheduler.after t.sched delay (fun () -> callback pid)))
+             (fun { subscriber; delay; callback } ->
+               (* Guard at fire time, not scheduling time: the subscriber
+                  may itself crash between this crash and its detection
+                  delay elapsing, and a dead process must not react. *)
+               ignore
+                 (Scheduler.after t.sched delay (fun () ->
+                      if not t.crashed.(subscriber) then callback pid)))
              t.crash_subs
          end))
+
+let perturb_fd t scale =
+  if scale <= 0. then invalid_arg "Engine.perturb_fd: scale must be > 0";
+  List.iter
+    (fun (pid, f) -> if not t.crashed.(pid) then f scale)
+    t.fd_subs
 
 let at t time f = ignore (Scheduler.at t.sched time f)
 let run ?until ?max_steps t = Scheduler.run ?until ?max_steps t.sched

@@ -54,6 +54,15 @@ val schedule_crash :
 val at : 'w t -> Des.Sim_time.t -> (unit -> unit) -> unit
 (** Schedules an external action (e.g. an A-XCast from the workload). *)
 
+val perturb_fd : 'w t -> float -> unit
+(** [perturb_fd t s] multiplies the adaptive timeouts of every failure
+    detector registered through {!Services.t}[.on_fd_perturb] by [s],
+    skipping detectors whose host process has crashed. [s < 1] is an
+    FD storm: shrunk timeouts force false suspicions, which the ◇P
+    back-off rule then recovers from. Immediate; schedule via {!at} for a
+    timed perturbation.
+    @raise Invalid_argument if [s <= 0]. *)
+
 val run : ?until:Des.Sim_time.t -> ?max_steps:int -> 'w t -> unit
 (** Runs the simulation; see {!Des.Scheduler.run}. With no [until], runs to
     quiescence (empty event queue) — which every halting protocol reaches. *)

@@ -14,6 +14,11 @@ type 'w t = {
   alive : Net.Topology.pid -> bool;
   on_crash_detected :
     delay:Des.Sim_time.t -> (Net.Topology.pid -> unit) -> unit;
+  on_fd_perturb : (float -> unit) -> unit;
+      (* Registers a failure-detector timeout perturbation hook: the
+         callback receives a scale factor when the harness perturbs FD
+         timeouts (Engine.perturb_fd, driven by nemesis Fd_storm actions).
+         Detectors without adaptive timeouts ignore it. *)
 }
 
 let send_all t pids w = List.iter (fun dst -> t.send ~dst w) pids

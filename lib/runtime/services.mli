@@ -44,7 +44,15 @@ type 'w t = {
   on_crash_detected : delay:Des.Sim_time.t -> (Net.Topology.pid -> unit) -> unit;
       (** Subscribe to crash notifications delivered [delay] after the
           crash instant — the idealised eventually-perfect failure
-          detector. *)
+          detector. The callback is skipped if the subscribing process has
+          itself crashed by the time the notification fires (a dead
+          detector reports nothing). *)
+  on_fd_perturb : (float -> unit) -> unit;
+      (** Subscribe to failure-detector timeout perturbations
+          ({!Runtime.Engine.perturb_fd}, driven by the harness's [Fd_storm]
+          nemesis action): the callback receives a scale factor to apply to
+          the detector's adaptive timeouts. Skipped for crashed processes;
+          detectors without adaptive timeouts simply don't subscribe. *)
 }
 
 val send_all : 'w t -> Net.Topology.pid list -> 'w -> unit

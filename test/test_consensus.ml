@@ -227,7 +227,7 @@ let test_heartbeat_driven_consensus () =
                Fd.Heartbeat.create ~services
                  ~wrap:(fun m -> Hb m)
                  ~monitored:parts ~period:(Sim_time.of_ms 5)
-                 ~timeout:(Sim_time.of_ms 25)
+                 ~timeout:(Sim_time.of_ms 25) ()
              in
              let ep =
                Consensus.Paxos.create ~services

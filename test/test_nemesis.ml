@@ -1,0 +1,294 @@
+(* The nemesis fault-plan layer: plan validation and generation, plan
+   replay against live deployments, campaigns under seeded plans for every
+   protocol (sequential and parallel, bit-identically), FD storms under
+   the heartbeat detector, and A2's misprediction -> restart path
+   (Theorem 5.2). *)
+
+open Des
+open Net
+open Runtime
+module N = Harness.Nemesis
+
+let all_protocols :
+    (string * (module Amcast.Protocol.S) * bool * bool) list =
+  (* name, protocol, broadcast_only, with_crashes — mirrors the soak
+     binary's target list. *)
+  [
+    ("a1", (module Amcast.A1), false, true);
+    ("a2", (module Amcast.A2), true, true);
+    ("via-broadcast", (module Amcast.Via_broadcast), false, true);
+    ("fritzke", (module Amcast.Fritzke), false, true);
+    ("skeen", (module Amcast.Skeen), false, false);
+    ("ring", (module Amcast.Ring), false, false);
+    ("scalable", (module Amcast.Scalable), false, false);
+    ("sequencer", (module Amcast.Sequencer), true, false);
+  ]
+
+(* --- The plan type itself. --- *)
+
+let test_make_rejects_unhealed_partition () =
+  let bad =
+    [
+      {
+        N.at = Sim_time.of_ms 10;
+        action = N.Partition { side_a = [ 0 ]; side_b = [ 1 ] };
+      };
+    ]
+  in
+  (match N.make bad with
+  | _ -> Alcotest.fail "unhealed partition accepted"
+  | exception Invalid_argument _ -> ());
+  (* A heal at the same instant is not enough: it could be ordered before
+     the partition. *)
+  let same_instant =
+    bad @ [ { N.at = Sim_time.of_ms 10; action = N.Heal_all } ]
+  in
+  (match N.make same_instant with
+  | _ -> Alcotest.fail "same-instant heal accepted"
+  | exception Invalid_argument _ -> ());
+  let good = bad @ [ { N.at = Sim_time.of_ms 50; action = N.Heal_all } ] in
+  Alcotest.(check int) "healed plan accepted" 2 (List.length (N.steps (N.make good)))
+
+let test_liveness_from_is_last_step_end () =
+  let plan =
+    N.make
+      [
+        {
+          N.at = Sim_time.of_ms 10;
+          action = N.Partition { side_a = [ 0 ]; side_b = [ 1 ] };
+        };
+        { N.at = Sim_time.of_ms 50; action = N.Heal_all };
+        {
+          N.at = Sim_time.of_ms 40;
+          action =
+            N.Latency_spike
+              {
+                src_group = 0;
+                dst_group = 1;
+                factor = 4.0;
+                duration = Sim_time.of_ms 30;
+              };
+        };
+        { N.at = Sim_time.of_ms 20; action = N.Fd_storm { scale = 0.1 } };
+      ]
+  in
+  (* The spike's window ends at 70ms, after the 50ms heal. *)
+  Alcotest.(check int) "liveness from the last step end" 70_000
+    (Sim_time.to_us (N.liveness_from plan));
+  Alcotest.(check bool) "steps sorted by time" true
+    (let ats = List.map (fun s -> Sim_time.to_us s.N.at) (N.steps plan) in
+     ats = List.sort Int.compare ats)
+
+let test_generate_deterministic () =
+  let topo = Topology.symmetric ~groups:3 ~per_group:3 in
+  let plan_of seed =
+    Fmt.str "%a" N.pp (N.generate ~rng:(Rng.create seed) ~topology:topo ())
+  in
+  Alcotest.(check string) "same seed, same plan" (plan_of 7) (plan_of 7);
+  Alcotest.(check bool) "different seed, different plan" true
+    (plan_of 7 <> plan_of 8);
+  let plan = N.generate ~rng:(Rng.create 7) ~topology:topo () in
+  Alcotest.(check bool) "non-empty" false (N.is_empty plan);
+  Alcotest.(check bool) "ends healed" true
+    (match List.rev (N.steps plan) with
+    | { N.action = N.Heal_all; _ } :: _ -> true
+    | _ -> false)
+
+(* --- Replaying a hand-written plan against a deployment. --- *)
+
+let test_plan_replay_a1 () =
+  let module R = Harness.Runner.Make (Amcast.A1) in
+  (* Three per group: the plan crashes one process, and consensus needs a
+     correct majority in its group to stay live. *)
+  let topo = Topology.symmetric ~groups:2 ~per_group:3 in
+  let plan =
+    N.make
+      [
+        {
+          N.at = Sim_time.of_ms 20;
+          action = N.Partition { side_a = [ 0 ]; side_b = [ 1 ] };
+        };
+        {
+          N.at = Sim_time.of_ms 30;
+          action =
+            N.Latency_spike
+              {
+                src_group = 0;
+                dst_group = 1;
+                factor = 6.0;
+                duration = Sim_time.of_ms 100;
+              };
+        };
+        {
+          N.at = Sim_time.of_ms 60;
+          action = N.Crash { pid = 1; drop = Engine.Lose_all_inflight };
+        };
+        { N.at = Sim_time.of_ms 180; action = N.Heal_all };
+      ]
+  in
+  let d = R.deploy ~latency:Util.crisp_latency ~nemesis:plan topo in
+  let id1 = R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] () in
+  let id2 = R.cast_at d ~at:(Sim_time.of_ms 25) ~origin:4 ~dest:[ 0; 1 ] () in
+  let r = R.run_deployment d in
+  Util.check_no_violations "safety and post-heal liveness"
+    (Harness.Checker.check_all ~check_quiescence:true
+       ~liveness_from:(N.liveness_from plan) r);
+  Alcotest.(check bool) "ran past the final heal" true
+    (Sim_time.( >= ) r.end_time (N.liveness_from plan));
+  (* p1 crashed; the five survivors deliver both messages. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check int)
+        (Fmt.str "%a delivered by all survivors" Msg_id.pp id)
+        5
+        (List.length (Harness.Run_result.deliveries_of r id)))
+    [ id1; id2 ]
+
+(* --- Campaigns under generated plans, every protocol. --- *)
+
+let campaign_case (name, proto, broadcast_only, with_crashes) =
+  Alcotest.test_case name `Quick (fun () ->
+      let summary =
+        Harness.Campaign.run proto ~broadcast_only ~with_crashes
+          ~with_nemesis:true ~check_quiescence:true ~seed:1234 ~runs:8 ()
+      in
+      Alcotest.(check int)
+        (Fmt.str "%s: all nemesis runs clean" name)
+        summary.runs summary.clean;
+      Alcotest.(check bool) "non-trivial" true (summary.delivered_total > 0))
+
+let test_campaign_parallel_identical () =
+  let seq =
+    Harness.Campaign.run
+      (module Amcast.A1)
+      ~with_nemesis:true ~seed:99 ~runs:10 ()
+  in
+  let par =
+    Harness.Campaign.run_parallel
+      (module Amcast.A1)
+      ~with_nemesis:true ~domains:4 ~seed:99 ~runs:10 ()
+  in
+  Alcotest.(check bool) "nemesis summaries bit-identical" true (par = seq);
+  Alcotest.(check bool) "non-trivial campaign" true (seq.total_steps > 0)
+
+(* --- FD storms under the heartbeat detector. --- *)
+
+(* A1 on heartbeat failure detection with an FD-storm plan: the storm
+   shrinks every detector's timeouts mid-run, forcing false suspicions
+   (and so spurious coordinator changes in consensus); the run must stay
+   safe and still deliver everywhere. Heartbeat deployments never drain
+   (the detector keeps probing), so the run is horizon-bounded and
+   liveness is left to the delivery-count assertion. *)
+let storm_case name (proto : (module Amcast.Protocol.S)) =
+  Alcotest.test_case (name ^ " under fd storm") `Quick (fun () ->
+      let module P = (val proto) in
+      let module R = Harness.Runner.Make (P) in
+      let topo = Topology.symmetric ~groups:2 ~per_group:3 in
+      let config =
+        {
+          Amcast.Protocol.Config.default with
+          fd_mode =
+            Amcast.Protocol.Config.Heartbeat
+              { period = Sim_time.of_ms 5; timeout = Sim_time.of_ms 30 };
+          consensus_timeout = Sim_time.of_ms 80;
+        }
+      in
+      let plan =
+        N.make
+          [
+            { N.at = Sim_time.of_ms 10; action = N.Fd_storm { scale = 0.05 } };
+            { N.at = Sim_time.of_ms 60; action = N.Fd_storm { scale = 0.05 } };
+          ]
+      in
+      let d =
+        R.deploy ~latency:Util.crisp_latency ~config ~nemesis:plan topo
+      in
+      let id =
+        R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:1
+          ~dest:(Topology.all_groups topo) ()
+      in
+      let r = R.run_deployment ~until:(Sim_time.of_sec 3.) d in
+      Util.check_no_violations "integrity under fd storm"
+        (Harness.Checker.uniform_integrity r);
+      Util.check_no_violations "prefix order under fd storm"
+        (Harness.Checker.uniform_prefix_order r);
+      Alcotest.(check int) "all six deliver despite the storm" 6
+        (List.length (Harness.Run_result.deliveries_of r id)))
+
+(* --- A2's misprediction -> restart path (Theorem 5.2). --- *)
+
+(* Drive A2 to quiescence (the Stop_when_idle prediction: an empty round
+   does not raise the barrier, so rounds stop), then prove the prediction
+   wrong with a fresh broadcast — across a partition window for good
+   measure. The restart costs exactly one extra inter-group delay: the
+   late message is delivered at latency degree 2, not A2's proactive
+   degree 1. *)
+let test_a2_misprediction_restart () =
+  let module R = Harness.Runner.Make (Amcast.A2) in
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let d = R.deploy ~latency:Util.crisp_latency topo in
+  let all = Topology.all_groups topo in
+  let id1 = R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:all () in
+  let r1 = R.run_deployment d in
+  Alcotest.(check bool) "first run drained" true r1.drained;
+  Alcotest.(check int) "warm-up delivered everywhere" 4
+    (List.length (Harness.Run_result.deliveries_of r1 id1));
+  Alcotest.(check int) "cold start: degree 2" 2 (Util.degree_of r1 id1);
+  (* Quiescent: every process predicted no more broadcasts — its barrier
+     is behind the round it would execute next. *)
+  List.iter
+    (fun pid ->
+      let node = R.node d pid in
+      Alcotest.(check bool)
+        (Fmt.str "p%d stopped executing rounds" pid)
+        true
+        (Amcast.A2.barrier node < Amcast.A2.round node))
+    (Topology.all_pids topo);
+  let rounds_before = Amcast.A2.rounds_executed (R.node d 0) in
+  (* The late broadcast lands inside a partition window, so the restart
+     also has to ride out a cut; apply a plan to the live deployment. *)
+  let base = Sim_time.to_us r1.end_time in
+  let at_us us = Sim_time.of_us (base + us) in
+  let plan =
+    N.make
+      [
+        {
+          N.at = at_us 105_000;
+          action = N.Partition { side_a = [ 0 ]; side_b = [ 1 ] };
+        };
+        { N.at = at_us 200_000; action = N.Heal_all };
+      ]
+  in
+  N.apply plan (R.engine d);
+  let id2 = R.cast_at d ~at:(at_us 100_000) ~origin:2 ~dest:all () in
+  let r2 = R.run_deployment d in
+  Util.check_no_violations "safety across restart"
+    (Harness.Checker.check_all ~check_quiescence:true
+       ~liveness_from:(N.liveness_from plan) r2);
+  Alcotest.(check int) "late broadcast delivered everywhere" 4
+    (List.length (Harness.Run_result.deliveries_of r2 id2));
+  Alcotest.(check bool) "rounds restarted" true
+    (Amcast.A2.rounds_executed (R.node d 0) > rounds_before);
+  Alcotest.(check int) "misprediction costs exactly one extra hop: degree 2"
+    2 (Util.degree_of r2 id2)
+
+let suites =
+  [
+    ( "nemesis",
+      [
+        Alcotest.test_case "make rejects unhealed partitions" `Quick
+          test_make_rejects_unhealed_partition;
+        Alcotest.test_case "liveness_from is the last step end" `Quick
+          test_liveness_from_is_last_step_end;
+        Alcotest.test_case "generate is seed-deterministic" `Quick
+          test_generate_deterministic;
+        Alcotest.test_case "plan replay on a1" `Quick test_plan_replay_a1;
+        Alcotest.test_case "parallel campaign bit-identical" `Slow
+          test_campaign_parallel_identical;
+        storm_case "a1" (module Amcast.A1);
+        storm_case "a2" (module Amcast.A2);
+        Alcotest.test_case "a2 misprediction restart (Thm 5.2)" `Quick
+          test_a2_misprediction_restart;
+      ] );
+    ("nemesis-campaign", List.map campaign_case all_protocols);
+  ]

@@ -77,6 +77,41 @@ let test_a1_delivery_waits_for_heal () =
   Alcotest.(check int) "all four deliver after heal" 4
     (List.length (Harness.Run_result.deliveries_of r2 id))
 
+(* Asymmetric (one-directional) partition during an in-flight multi-group
+   A1 cast: group 1 -> group 0 is cut while group 0 -> group 1 still
+   flows. The cast from group 0 reaches group 1, which collects both
+   groups' timestamps and can finish; group 0 is missing group 1's stage
+   answer and must wait for the heal. Nothing inconsistent may happen in
+   between, and the heal completes the run at A1's normal latency degree 2
+   (partitions are pure delay: they stretch time, not the Lamport
+   degree, and the stage-skipping optimisations stay sound). *)
+let test_a1_asymmetric_partition () =
+  let module R = Harness.Runner.Make (Amcast.A1) in
+  let topo = Topology.symmetric ~groups:2 ~per_group:2 in
+  let d = R.deploy ~latency:Util.crisp_latency topo in
+  let net = Engine.network (R.engine d) in
+  Engine.at (R.engine d) (Sim_time.of_us 500) (fun () ->
+      Network.partition net ~src_group:1 ~dst_group:0);
+  let id = R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:0 ~dest:[ 0; 1 ] () in
+  let r1 = R.run_deployment ~until:(Sim_time.of_ms 400) d in
+  let groups_delivered r =
+    List.map
+      (fun (ev : Harness.Run_result.delivery_event) ->
+        Topology.group_of topo ev.pid)
+      (Harness.Run_result.deliveries_of r id)
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check (list int))
+    "during the cut only the side with both timestamps delivers" [ 1 ]
+    (groups_delivered r1);
+  Engine.at (R.engine d) (Sim_time.of_ms 450) (fun () -> Network.heal_all net);
+  let r2 = R.run_deployment d in
+  Util.check_no_violations "safety across asymmetric partition"
+    (Harness.Checker.check_all r2);
+  Alcotest.(check int) "all four deliver after heal" 4
+    (List.length (Harness.Run_result.deliveries_of r2 id));
+  Alcotest.(check int) "degree 2 preserved" 2 (Util.degree_of r2 id)
+
 (* A2: a partitioned group cannot finish any round; messages delivered
    before the partition stay consistent, and the backlog flushes after
    healing. *)
@@ -137,6 +172,8 @@ let suites =
           test_network_partition_groups_and_heal_all;
         Alcotest.test_case "a1 waits for heal" `Quick
           test_a1_delivery_waits_for_heal;
+        Alcotest.test_case "a1 asymmetric partition" `Quick
+          test_a1_asymmetric_partition;
         Alcotest.test_case "a2 backlog flushes after heal" `Quick
           test_a2_backlog_flushes_after_heal;
         Alcotest.test_case "a2 nemesis cycles" `Quick test_a2_nemesis_cycles;

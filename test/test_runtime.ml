@@ -135,6 +135,43 @@ let test_crash_detection_subscription () =
     Alcotest.(check int) "detected at crash + delay" 10_000 (Sim_time.to_us t)
   | _ -> Alcotest.fail "expected exactly one detection"
 
+(* Regression: a crash notification must not reach a subscriber that has
+   itself crashed by the time the notification fires — a dead failure
+   detector reports nothing. *)
+let test_crash_notification_skips_dead_subscriber () =
+  let topo = Topology.symmetric ~groups:1 ~per_group:3 in
+  let engine, _ = make_echo_engine topo in
+  let s0 = Engine.services engine 0 in
+  let detected = ref [] in
+  s0.Services.on_crash_detected ~delay:(Sim_time.of_ms 7) (fun pid ->
+      detected := pid :: !detected);
+  (* p1's crash at 3ms would be notified at 10ms, but the subscriber p0
+     is itself dead from 5ms on. *)
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 3) 1;
+  Engine.schedule_crash engine ~at:(Sim_time.of_ms 5) 0;
+  Engine.run engine;
+  Alcotest.(check (list int)) "no notification to the dead subscriber" []
+    !detected
+
+(* Regression: a message arriving at a pid that never spawned a node must
+   be a no-op — no Lamport advance, no Receive trace entry. *)
+let test_delivery_to_nodeless_pid () =
+  let topo = Topology.symmetric ~groups:2 ~per_group:1 in
+  let engine = Engine.create ~latency:Util.crisp_latency ~tag topo in
+  ignore
+    (Engine.spawn engine 0 (fun _ ->
+         ((), { Engine.on_receive = (fun ~src:_ _ -> ()) })));
+  let s0 = Engine.services engine 0 in
+  Engine.at engine (Sim_time.of_ms 1) (fun () -> s0.Services.send ~dst:1 Ping);
+  Engine.run engine;
+  Alcotest.(check int) "node-less clock untouched" 0 (Engine.lc engine 1);
+  let receives =
+    List.filter
+      (function Trace.Receive _ -> true | _ -> false)
+      (Trace.entries (Engine.trace engine))
+  in
+  Alcotest.(check int) "no Receive recorded" 0 (List.length receives)
+
 let test_trace_records_events () =
   let topo = Topology.symmetric ~groups:2 ~per_group:1 in
   let engine, _ = make_echo_engine topo in
@@ -211,6 +248,10 @@ let suites =
           test_timer_inert_after_crash;
         Alcotest.test_case "crash detection subscription" `Quick
           test_crash_detection_subscription;
+        Alcotest.test_case "crash notification skips dead subscriber" `Quick
+          test_crash_notification_skips_dead_subscriber;
+        Alcotest.test_case "delivery to node-less pid is a no-op" `Quick
+          test_delivery_to_nodeless_pid;
         Alcotest.test_case "trace records events" `Quick
           test_trace_records_events;
         Alcotest.test_case "determinism" `Quick test_engine_determinism;
