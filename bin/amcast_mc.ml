@@ -1,0 +1,283 @@
+(* amcast_mc — exhaustive schedule exploration over the DES.
+
+   Where amcast_soak samples random schedules, amcast_mc enumerates them:
+   it runs the DPOR-style explorer (lib/mc) over every delivery/crash
+   interleaving of a small deployment, checks every terminal state against
+   the agreement specifications, and reports violations as minimized,
+   replayable choice-sequence trace files.
+
+   Usage: amcast_mc [options]                 explore a configuration
+          amcast_mc --replay FILE [--expect-violation]
+                                              replay a saved trace
+
+   Explore options:
+     --protocol NAME        a1|a2|via-broadcast|fritzke|skeen|ring|
+                            scalable|sequencer|optimistic|detmerge
+                            (default a1)
+     --sizes CSV            group sizes (default 2,2)
+     --casts N              number of casts, 1ms apart (default 2)
+     --dest CSV             destination gids (default: all groups)
+     --origins CSV          cast origins, used round-robin (default 0)
+     --config NAME          default|reference|fritzke (default default)
+     --seed N               deployment seed (default 0)
+     --intra-us N           intra-group latency, us (default 1000)
+     --inter-us N           inter-group latency, us (default 50000)
+     --crash AT_US:PID      clean crash-stop (repeatable; prefer AT_US 0 —
+                            the crash is explored as a scheduler choice)
+     --mutation SPEC        seeded bug, e.g. "drop-deliver 1 0"
+     --spurious N           spurious-timer budget per path (default 0)
+     --reorder N            delay bound: non-default choices per path
+                            (default unlimited)
+     --no-por               disable sleep-set partial-order reduction
+     --fingerprints         enable state-fingerprint pruning
+     --max-interleavings N  terminal-state budget (default 200000)
+     --max-total-steps N    executed-event budget (default 50000000)
+     --expect-genuine       also check genuineness at terminals
+     --no-minimize          report the raw (unminimized) counterexample
+     --trace-out FILE       write the counterexample trace file
+
+   Exit codes: explore — 0 clean, 1 violation found, 2 usage error.
+   Replay — 0 when the verdict matches the expectation (clean without
+   --expect-violation, violating with it), 1 otherwise. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("amcast_mc: " ^ m);
+      exit 2)
+    fmt
+
+let ints_csv flag v =
+  String.split_on_char ',' v
+  |> List.map (fun s ->
+         match int_of_string_opt (String.trim s) with
+         | Some i -> i
+         | None -> die "%s: bad integer list %S" flag v)
+
+let int_arg flag v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> die "%s: bad integer %S" flag v
+
+let () =
+  let replay_file = ref None in
+  let expect_violation = ref false in
+  let protocol = ref "a1" in
+  let sizes = ref [ 2; 2 ] in
+  let casts_n = ref 2 in
+  let dest = ref None in
+  let origins = ref [ 0 ] in
+  let config_name = ref "default" in
+  let seed = ref 0 in
+  let intra_us = ref 1_000 in
+  let inter_us = ref 50_000 in
+  let crashes = ref [] in
+  let mutation = ref None in
+  let spurious = ref 0 in
+  let reorder = ref max_int in
+  let por = ref true in
+  let fingerprints = ref false in
+  let max_interleavings = ref 200_000 in
+  let max_total_steps = ref 50_000_000 in
+  let expect_genuine = ref false in
+  let minimize = ref true in
+  let trace_out = ref None in
+  let argv = Sys.argv in
+  let rec parse i =
+    if i < Array.length argv then begin
+      let flag = argv.(i) in
+      let value () =
+        if i + 1 < Array.length argv then argv.(i + 1)
+        else die "%s needs an argument" flag
+      in
+      match flag with
+      | "--no-por" ->
+        por := false;
+        parse (i + 1)
+      | "--fingerprints" ->
+        fingerprints := true;
+        parse (i + 1)
+      | "--expect-genuine" ->
+        expect_genuine := true;
+        parse (i + 1)
+      | "--no-minimize" ->
+        minimize := false;
+        parse (i + 1)
+      | "--expect-violation" ->
+        expect_violation := true;
+        parse (i + 1)
+      | _ ->
+        let v = value () in
+        (match flag with
+        | "--replay" -> replay_file := Some v
+        | "--protocol" -> protocol := v
+        | "--sizes" -> sizes := ints_csv flag v
+        | "--casts" -> casts_n := int_arg flag v
+        | "--dest" -> dest := Some (ints_csv flag v)
+        | "--origins" -> origins := ints_csv flag v
+        | "--config" -> config_name := v
+        | "--seed" -> seed := int_arg flag v
+        | "--intra-us" -> intra_us := int_arg flag v
+        | "--inter-us" -> inter_us := int_arg flag v
+        | "--crash" -> (
+          match String.split_on_char ':' v with
+          | [ at; pid ] ->
+            crashes := (int_arg flag at, int_arg flag pid) :: !crashes
+          | _ -> die "--crash expects AT_US:PID, got %S" v)
+        | "--mutation" -> (
+          match Mc.Mutant.spec_of_string v with
+          | Ok spec -> mutation := Some spec
+          | Error e -> die "%s" e)
+        | "--spurious" -> spurious := int_arg flag v
+        | "--reorder" -> reorder := int_arg flag v
+        | "--max-interleavings" -> max_interleavings := int_arg flag v
+        | "--max-total-steps" -> max_total_steps := int_arg flag v
+        | "--trace-out" -> trace_out := Some v
+        | _ -> die "unknown flag %s" flag);
+        parse (i + 2)
+    end
+  in
+  parse 1;
+  match !replay_file with
+  | Some file -> (
+    match Mc.Trace_file.load file with
+    | Error e -> die "%s: %s" file e
+    | Ok t -> (
+      match Mc.Trace_file.replay t with
+      | Error e -> die "%s: %s" file e
+      | Ok (r, violations) ->
+        Fmt.pr "%a@." Harness.Run_result.pp_summary r;
+        if violations = [] then Fmt.pr "replay: no violations@."
+        else begin
+          Fmt.pr "replay: %d violation(s):@." (List.length violations);
+          List.iter (fun v -> Fmt.pr "  %s@." v) violations
+        end;
+        if violations <> [] = !expect_violation then exit 0
+        else begin
+          Fmt.pr "replay: verdict does not match expectation (%s)@."
+            (if !expect_violation then "--expect-violation" else "clean");
+          exit 1
+        end))
+  | None -> (
+    let pm =
+      match List.assoc_opt !protocol Mc.Trace_file.protocols with
+      | Some pm -> pm
+      | None -> die "unknown protocol %S" !protocol
+    in
+    let config =
+      match !config_name with
+      | "default" -> Amcast.Protocol.Config.default
+      | "reference" -> Amcast.Protocol.Config.reference
+      | "fritzke" -> Amcast.Protocol.Config.fritzke
+      | c -> die "unknown config preset %S" c
+    in
+    let topology = Net.Topology.make ~sizes:!sizes in
+    let dest_gids =
+      match !dest with
+      | Some gids -> gids
+      | None -> Net.Topology.all_groups topology
+    in
+    if !origins = [] then die "--origins must not be empty";
+    let cast_tuples =
+      List.init !casts_n (fun k ->
+          ( (k + 1) * 1_000,
+            List.nth !origins (k mod List.length !origins),
+            dest_gids,
+            "m" ^ string_of_int k ))
+    in
+    let tf =
+      Mc.Trace_file.make ~seed:!seed ~intra_us:!intra_us ~inter_us:!inter_us
+        ~config:!config_name ~spurious_timers:!spurious
+        ~reorder_bound:!reorder ~casts:cast_tuples
+        ~faults:(List.rev !crashes) ?mutation:!mutation ~protocol:!protocol
+        ~sizes:!sizes ()
+    in
+    let (module Base : Amcast.Protocol.S) = pm in
+    let (module P : Amcast.Protocol.S) =
+      match !mutation with
+      | None -> (module Base : Amcast.Protocol.S)
+      | Some spec ->
+        let module Sp = struct
+          let spec = spec
+        end in
+        let module M = Mc.Mutant.Make (Base) (Sp) in
+        (module M : Amcast.Protocol.S)
+    in
+    let module E = Mc.Explorer.Make (P) in
+    let latency =
+      Net.Latency.uniform
+        ~intra:(Des.Sim_time.of_us !intra_us)
+        ~inter:(Des.Sim_time.of_us !inter_us)
+        ()
+    in
+    let workload =
+      List.map
+        (fun (at, origin, dest, payload) ->
+          {
+            Harness.Workload.at = Des.Sim_time.of_us at;
+            origin;
+            dest;
+            payload;
+          })
+        cast_tuples
+    in
+    let faults =
+      List.map
+        (fun (at, pid) ->
+          Harness.Runner.crash ~at:(Des.Sim_time.of_us at) pid)
+        (List.rev !crashes)
+    in
+    let setup =
+      E.make_setup ~seed:!seed ~latency ~config ~faults
+        ~spurious_timers:!spurious ~reorder_bound:!reorder ~topology workload
+    in
+    let check r = Harness.Checker.check_all ~expect_genuine:!expect_genuine r in
+    let opts =
+      {
+        E.default_opts with
+        por = !por;
+        fingerprints = !fingerprints;
+        max_interleavings = !max_interleavings;
+        max_total_steps = !max_total_steps;
+        check;
+      }
+    in
+    Fmt.pr "exploring %s sizes=%s casts=%d (por=%b fingerprints=%b)@."
+      P.name
+      (String.concat "," (List.map string_of_int !sizes))
+      !casts_n !por !fingerprints;
+    let t0 = Unix.gettimeofday () in
+    let o = E.explore ~opts setup in
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = o.E.stats in
+    Fmt.pr
+      "interleavings=%d events=%d replays=%d peak_depth=%d sleep_prunes=%d \
+       fp_prunes=%d outcomes=%d exhaustive=%b (%.2fs, %.0f events/s)@."
+      s.E.interleavings s.E.events s.E.replays s.E.peak_depth
+      s.E.sleep_prunes s.E.fingerprint_prunes
+      (List.length o.E.outcome_digests)
+      s.E.exhaustive dt
+      (float_of_int s.E.events /. Float.max dt 1e-9);
+    match o.E.violation with
+    | None ->
+      Fmt.pr "no violations.@.";
+      exit 0
+    | Some v ->
+      let choices, messages =
+        if !minimize then E.minimize ~check setup v.E.choices
+        else (v.E.choices, v.E.messages)
+      in
+      Fmt.pr "VIOLATION after %d interleavings; %sschedule (%d choices):@."
+        s.E.interleavings
+        (if !minimize then "minimized " else "")
+        (List.length choices);
+      Fmt.pr "  choices %s@."
+        (String.concat "," (List.map string_of_int choices));
+      List.iter (fun m -> Fmt.pr "  %s@." m) messages;
+      (match !trace_out with
+      | Some file ->
+        Mc.Trace_file.save file
+          { tf with Mc.Trace_file.choices; note = "found by amcast_mc explore" };
+        Fmt.pr "trace written to %s@." file
+      | None -> ());
+      exit 1)

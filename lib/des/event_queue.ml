@@ -1,4 +1,10 @@
-type 'a entry = { time : Sim_time.t; seq : int; handle : int; payload : 'a }
+type 'a entry = {
+  time : Sim_time.t;
+  seq : int;
+  handle : int;
+  tag : int; (* caller-defined metadata; 0 = untagged *)
+  payload : 'a;
+}
 
 (* Cancellation is O(1): [flags] is a byte per issued handle (1 = live,
    0 = popped/cancelled/never issued) and [live] counts the set bits, so
@@ -63,10 +69,10 @@ let sift_down q e =
   done;
   q.heap.(!i) <- e
 
-let add q ~time payload =
+let add_tagged q ~time ~tag payload =
   let handle = q.next_handle in
   q.next_handle <- handle + 1;
-  let e = { time; seq = q.next_seq; handle; payload } in
+  let e = { time; seq = q.next_seq; handle; tag; payload } in
   q.next_seq <- q.next_seq + 1;
   if q.len = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 e;
   if q.len >= Array.length q.heap then grow q;
@@ -81,6 +87,8 @@ let add q ~time payload =
   Bytes.unsafe_set q.flags handle '\001';
   q.live <- q.live + 1;
   handle
+
+let add q ~time payload = add_tagged q ~time ~tag:0 payload
 
 let cancel q handle =
   if handle >= 0 && handle < q.next_handle
@@ -121,3 +129,40 @@ let rec peek_time q =
 
 let size q = q.live
 let is_empty q = q.live = 0
+
+(* Controlled-scheduling support (the model checker's view). These walk the
+   raw heap array, so they are O(len) / O(len log len) — irrelevant next to
+   the cost of exploring an interleaving, and they leave the hot-path
+   representation untouched. *)
+
+let live q =
+  let acc = ref [] in
+  for i = q.len - 1 downto 0 do
+    let e = q.heap.(i) in
+    if Bytes.unsafe_get q.flags e.handle = '\001' then acc := e :: !acc
+  done;
+  List.sort
+    (fun a b ->
+      let c = Sim_time.compare a.time b.time in
+      if c <> 0 then c else Int.compare a.seq b.seq)
+    !acc
+  |> List.map (fun e -> (e.handle, e.time, e.tag))
+
+let take q handle =
+  if
+    handle < 0 || handle >= q.next_handle
+    || Bytes.unsafe_get q.flags handle <> '\001'
+  then None
+  else begin
+    (* The entry stays in the heap as a dead record; [pop]/[peek_time]
+       already skip those lazily. *)
+    Bytes.unsafe_set q.flags handle '\000';
+    q.live <- q.live - 1;
+    let found = ref None in
+    for i = 0 to q.len - 1 do
+      let e = q.heap.(i) in
+      if !found = None && e.handle = handle then
+        found := Some (e.time, e.payload)
+    done;
+    !found
+  end

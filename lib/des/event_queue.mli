@@ -15,6 +15,12 @@ val add : 'a t -> time:Sim_time.t -> 'a -> int
 (** [add q ~time payload] schedules [payload] at [time] and returns a unique
     handle that identifies this entry (usable with {!cancel}). *)
 
+val add_tagged : 'a t -> time:Sim_time.t -> tag:int -> 'a -> int
+(** [add] carrying an integer metadata tag, reported back by {!live}. Tags
+    mean nothing to the queue itself; the scheduler uses them to classify
+    events for controlled (model-checking) extraction. [add] is
+    [add_tagged ~tag:0]. *)
+
 val cancel : 'a t -> int -> unit
 (** [cancel q handle] marks the entry as cancelled; it is skipped on
     extraction. Cancelling an unknown or already-popped handle is a no-op. *)
@@ -30,3 +36,15 @@ val size : 'a t -> int
 (** Number of live (non-cancelled) entries. *)
 
 val is_empty : 'a t -> bool
+
+val live : 'a t -> (int * Sim_time.t * int) list
+(** All live entries as [(handle, time, tag)], sorted by [(time, insertion
+    order)] — the order {!pop} would drain them in. This is the enabled set
+    a controlled scheduler enumerates; it walks the whole heap, so it is for
+    exploration loops, not hot paths. *)
+
+val take : 'a t -> int -> (Sim_time.t * 'a) option
+(** [take q handle] removes and returns the live entry with that handle
+    regardless of its position in the time order — the controlled-scheduling
+    primitive. [None] if the handle is unknown, cancelled or already
+    popped. *)

@@ -1,5 +1,50 @@
 type handle = int
 
+module Tag = struct
+  (* Packed as [actor lsl 3 lor kind] so a tag is an immediate int: tagging
+     every network delivery costs no allocation. Actor -1 (generic) packs
+     to a negative int, which is fine — only [kind]/[actor] ever unpack. *)
+  type t = int
+
+  let k_generic = 0
+  let k_deliver = 1
+  let k_timer = 2
+  let k_crash = 3
+  let k_cast = 4
+  let generic = (-1 lsl 3) lor k_generic
+  let deliver pid = (pid lsl 3) lor k_deliver
+  let timer pid = (pid lsl 3) lor k_timer
+  let crash pid = (pid lsl 3) lor k_crash
+  let cast pid = (pid lsl 3) lor k_cast
+
+  let kind t =
+    match t land 7 with
+    | 0 -> `Generic
+    | 1 -> `Deliver
+    | 2 -> `Timer
+    | 3 -> `Crash
+    | 4 -> `Cast
+    | _ -> `Generic
+
+  let actor t = t asr 3
+
+  let anytime t =
+    let k = t land 7 in
+    k = k_deliver || k = k_crash
+
+  let pp ppf t =
+    let k =
+      match kind t with
+      | `Generic -> "generic"
+      | `Deliver -> "deliver"
+      | `Timer -> "timer"
+      | `Crash -> "crash"
+      | `Cast -> "cast"
+    in
+    if actor t < 0 then Format.fprintf ppf "%s" k
+    else Format.fprintf ppf "%s@p%d" k (actor t)
+end
+
 type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : Sim_time.t;
@@ -11,10 +56,12 @@ let create () =
 
 let now t = t.clock
 
-let at t time f =
+let at_tagged t tag time f =
   let time = Sim_time.max time t.clock in
-  Event_queue.add t.queue ~time f
+  Event_queue.add_tagged t.queue ~time ~tag f
 
+let at t time f = at_tagged t Tag.generic time f
+let after_tagged t tag d f = at_tagged t tag (Sim_time.add t.clock d) f
 let after t d f = at t (Sim_time.add t.clock d) f
 
 let cancel t h = Event_queue.cancel t.queue h
@@ -23,8 +70,19 @@ let pending t = Event_queue.size t.queue
 
 let executed t = t.executed
 
+let enabled t = Event_queue.live t.queue
+
 let step t =
   match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- Sim_time.max t.clock time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let step_handle t h =
+  match Event_queue.take t.queue h with
   | None -> false
   | Some (time, f) ->
     t.clock <- Sim_time.max t.clock time;

@@ -66,7 +66,7 @@ module Make (P : Amcast.Protocol.S) = struct
     d.next_seq.(origin) <- seq + 1;
     let id = Msg_id.make ~origin ~seq in
     let msg = Amcast.Msg.make ~id ~dest payload in
-    Engine.at d.engine at (fun () ->
+    Engine.at ~tag:(Scheduler.Tag.cast origin) d.engine at (fun () ->
         let services = Engine.services d.engine origin in
         services.Services.record_cast id;
         Vec.push d.casts

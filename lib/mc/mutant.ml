@@ -1,0 +1,73 @@
+type spec =
+  | Drop_receive of { pid : int; nth : int; tag_prefix : string }
+  | Drop_deliver of { pid : int; nth : int }
+
+let spec_to_string = function
+  | Drop_receive { pid; nth; tag_prefix } ->
+    Printf.sprintf "drop-receive %d %d %s" pid nth tag_prefix
+  | Drop_deliver { pid; nth } -> Printf.sprintf "drop-deliver %d %d" pid nth
+
+let spec_of_string s =
+  let int name v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "mutation: bad %s %S" name v)
+  in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "drop-receive"; pid; nth; tag_prefix ] -> (
+    match (int "pid" pid, int "nth" nth) with
+    | Ok pid, Ok nth -> Ok (Drop_receive { pid; nth; tag_prefix })
+    | Error e, _ | _, Error e -> Error e)
+  | [ "drop-deliver"; pid; nth ] -> (
+    match (int "pid" pid, int "nth" nth) with
+    | Ok pid, Ok nth -> Ok (Drop_deliver { pid; nth })
+    | Error e, _ | _, Error e -> Error e)
+  | _ -> Error (Printf.sprintf "mutation: cannot parse %S" s)
+
+module Make (P : Amcast.Protocol.S) (S : sig
+  val spec : spec
+end) =
+struct
+  type wire = P.wire
+  type t = { inner : P.t; self : Net.Topology.pid; mutable matched : int }
+
+  let name =
+    P.name ^ "+"
+    ^
+    match S.spec with
+    | Drop_receive _ -> "drop-receive"
+    | Drop_deliver _ -> "drop-deliver"
+
+  let tag = P.tag
+
+  let create ~services ~config ~deliver =
+    let self = services.Runtime.Services.self in
+    let delivered = ref 0 in
+    let deliver' =
+      match S.spec with
+      | Drop_deliver { pid; nth } when pid = self ->
+        fun m ->
+          let k = !delivered in
+          incr delivered;
+          if k <> nth then deliver m
+      | _ -> deliver
+    in
+    {
+      inner = P.create ~services ~config ~deliver:deliver';
+      self;
+      matched = 0;
+    }
+
+  let cast t m = P.cast t.inner m
+
+  let on_receive t ~src w =
+    match S.spec with
+    | Drop_receive { pid; nth; tag_prefix }
+      when pid = t.self && String.starts_with ~prefix:tag_prefix (P.tag w) ->
+      let k = t.matched in
+      t.matched <- k + 1;
+      if k <> nth then P.on_receive t.inner ~src w
+    | _ -> P.on_receive t.inner ~src w
+
+  let stats t = P.stats t.inner
+end

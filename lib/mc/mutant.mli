@@ -1,0 +1,27 @@
+(** Seeded protocol mutations for explorer self-tests.
+
+    A mutant wraps a protocol with one deliberate, deterministic bug. The
+    harness point is falsifiability: an explorer that never finds anything
+    proves little, so the test suite checks that known-broken protocols
+    {e are} caught, and that the reported counterexample replays to the
+    same verdict. *)
+
+type spec =
+  | Drop_receive of { pid : int; nth : int; tag_prefix : string }
+      (** Process [pid] silently drops the [nth] (0-based) incoming wire
+          message whose trace tag starts with [tag_prefix] — e.g. losing a
+          consensus decision. Counting is per-process and deterministic
+          for a fixed schedule. *)
+  | Drop_deliver of { pid : int; nth : int }
+      (** Process [pid] swallows its [nth] (0-based) A-Deliver upcall:
+          the protocol believes it delivered, the application never sees
+          it — a direct agreement/prefix-order violation. *)
+
+val spec_to_string : spec -> string
+val spec_of_string : string -> (spec, string) result
+(** Round-trips {!spec_to_string}; [Error] explains the parse failure. *)
+
+module Make (P : Amcast.Protocol.S) (S : sig
+  val spec : spec
+end) : Amcast.Protocol.S with type wire = P.wire
+(** The mutated protocol; its [name] is [P.name] with a mutation suffix. *)

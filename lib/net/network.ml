@@ -44,6 +44,9 @@ type 'w t = {
   scales : (Topology.gid * Topology.gid, float) Hashtbl.t;
   mutable send_filter : (src:Topology.pid -> dst:Topology.pid -> bool) option;
   mutable taps : (src:Topology.pid -> dst:Topology.pid -> 'w -> unit) list;
+  mutable explode_fanout : bool;
+      (* controlled-scheduling mode: give every fan-out destination its own
+         scheduler event so a model checker can reorder them individually *)
   mutable sent_total : int;
   mutable sent_inter : int;
   mutable sent_intra : int;
@@ -63,6 +66,7 @@ let create ~sched ~topology ~latency ~rng ~deliver =
     scales = Hashtbl.create 8;
     send_filter = None;
     taps = [];
+    explode_fanout = false;
     sent_total = 0;
     sent_inter = 0;
     sent_intra = 0;
@@ -108,15 +112,20 @@ let rec fire t i =
     (* Re-arm (or release) before delivering: the delivery can send, and a
        released slot must be reusable from inside it. *)
     if m.pos < Array.length m.arrivals then begin
-      let at, _ = m.arrivals.(m.pos) in
-      m.m_handle <- Scheduler.at t.sched at (fun () -> fire t i)
+      let at, next_dst = m.arrivals.(m.pos) in
+      m.m_handle <-
+        Scheduler.at_tagged t.sched (Scheduler.Tag.deliver next_dst) at
+          (fun () -> fire t i)
     end
     else release_slot t i;
     t.deliver ~src:m.m_src ~dst m.m_payload
 
 let schedule_delivery t ~src ~dst ~arrival payload =
   let i = acquire_slot t in
-  let handle = Scheduler.at t.sched arrival (fun () -> fire t i) in
+  let handle =
+    Scheduler.at_tagged t.sched (Scheduler.Tag.deliver dst) arrival
+      (fun () -> fire t i)
+  in
   t.slots.(i) <- Some (Single { src; dst; payload; handle })
 
 (* Per-destination admission, bookkeeping and latency sampling, shared
@@ -171,12 +180,23 @@ let send_multi t ~src ~dsts payload =
   match entries with
   | [] -> ()
   | [ (arrival, dst) ] -> schedule_delivery t ~src ~dst ~arrival payload
+  | entries when t.explode_fanout ->
+    (* Controlled mode: every destination gets its own event so the
+       explorer can reorder the fan-out's deliveries independently. The
+       admission above already drew latencies in the same order as the
+       slab path, so the two modes stay observably equivalent. *)
+    List.iter
+      (fun (arrival, dst) -> schedule_delivery t ~src ~dst ~arrival payload)
+      entries
   | entries ->
     let arrivals = Array.of_list entries in
     Array.stable_sort (fun (a, _) (b, _) -> Sim_time.compare a b) arrivals;
     let i = acquire_slot t in
-    let at, _ = arrivals.(0) in
-    let handle = Scheduler.at t.sched at (fun () -> fire t i) in
+    let at, dst0 = arrivals.(0) in
+    let handle =
+      Scheduler.at_tagged t.sched (Scheduler.Tag.deliver dst0) at
+        (fun () -> fire t i)
+    in
     t.slots.(i) <-
       Some (Multi { m_src = src; m_payload = payload; arrivals; pos = 0;
                     m_handle = handle })
@@ -286,6 +306,7 @@ let latency_scale t ~src_group ~dst_group scale =
   else Hashtbl.replace t.scales (src_group, dst_group) scale
 
 let set_send_filter t f = t.send_filter <- f
+let set_explode_fanout t b = t.explode_fanout <- b
 let on_send t tap = t.taps <- t.taps @ [ tap ]
 let sent_total t = t.sent_total
 let sent_inter_group t = t.sent_inter

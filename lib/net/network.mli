@@ -91,6 +91,13 @@ val set_send_filter :
 (** When set, messages for which the filter returns [false] are silently
     discarded at send time. Used by the runtime to mute crashed processes. *)
 
+val set_explode_fanout : 'w t -> bool -> unit
+(** Controlled-scheduling mode (default off): when on, {!send_multi}
+    schedules one event per destination instead of one self-re-arming slab
+    event for the whole fan-out, so each delivery is an independently
+    reorderable choice for the model checker. Latency draws, counters and
+    taps are unchanged — only the event-queue shape differs. *)
+
 val on_send :
   'w t ->
   (src:Topology.pid -> dst:Topology.pid -> 'w -> unit) ->

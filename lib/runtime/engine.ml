@@ -150,7 +150,7 @@ let services t pid =
     end
   in
   let set_timer ~after f =
-    Scheduler.after t.sched after (fun () ->
+    Scheduler.after_tagged t.sched (Scheduler.Tag.timer pid) after (fun () ->
         if not t.crashed.(pid) then f ())
   in
   let record_cast id =
@@ -178,8 +178,8 @@ let services t pid =
       (fun q dead ->
         if dead then
           ignore
-            (Scheduler.after t.sched delay (fun () ->
-                 if not t.crashed.(pid) then callback q)))
+            (Scheduler.after_tagged t.sched (Scheduler.Tag.timer pid) delay
+               (fun () -> if not t.crashed.(pid) then callback q)))
       t.crashed
   in
   let on_fd_perturb f = t.fd_subs <- t.fd_subs @ [ (pid, f) ] in
@@ -211,7 +211,7 @@ let spawn t pid make =
 
 let schedule_crash ?(drop = Keep_inflight) t ~at pid =
   ignore
-    (Scheduler.at t.sched at (fun () ->
+    (Scheduler.at_tagged t.sched (Scheduler.Tag.crash pid) at (fun () ->
          if not t.crashed.(pid) then begin
            t.crashed.(pid) <- true;
            Trace.record t.trace
@@ -235,7 +235,8 @@ let schedule_crash ?(drop = Keep_inflight) t ~at pid =
                   may itself crash between this crash and its detection
                   delay elapsing, and a dead process must not react. *)
                ignore
-                 (Scheduler.after t.sched delay (fun () ->
+                 (Scheduler.after_tagged t.sched
+                    (Scheduler.Tag.timer subscriber) delay (fun () ->
                       if not t.crashed.(subscriber) then callback pid)))
              t.crash_subs
          end))
@@ -246,7 +247,8 @@ let perturb_fd t scale =
     (fun (pid, f) -> if not t.crashed.(pid) then f scale)
     t.fd_subs
 
-let at t time f = ignore (Scheduler.at t.sched time f)
+let at ?(tag = Scheduler.Tag.generic) t time f =
+  ignore (Scheduler.at_tagged t.sched tag time f)
 let run ?until ?max_steps t = Scheduler.run ?until ?max_steps t.sched
 let now t = Scheduler.now t.sched
 let alive t pid = not t.crashed.(pid)

@@ -51,8 +51,13 @@ val schedule_crash :
     nothing, receives nothing, and its timers are inert. [drop] (default
     {!Keep_inflight}) selects the fate of its in-flight messages. *)
 
-val at : 'w t -> Des.Sim_time.t -> (unit -> unit) -> unit
-(** Schedules an external action (e.g. an A-XCast from the workload). *)
+val at :
+  ?tag:Des.Scheduler.Tag.t -> 'w t -> Des.Sim_time.t -> (unit -> unit) -> unit
+(** Schedules an external action (e.g. an A-XCast from the workload).
+    [tag] (default {!Des.Scheduler.Tag.generic}) attaches commutativity
+    metadata for controlled scheduling — the runner tags workload casts
+    with their origin so the model checker can commute them against
+    deliveries at other processes. *)
 
 val perturb_fd : 'w t -> float -> unit
 (** [perturb_fd t s] multiplies the adaptive timeouts of every failure

@@ -41,6 +41,7 @@ let record t e =
   end
 
 let entries t = List.rev t.entries
+let entries_rev t = t.entries
 let length t = t.n
 
 let pp_entry ppf = function

@@ -51,6 +51,11 @@ val record : t -> entry -> unit
 val entries : t -> entry list
 (** All recorded entries, in chronological (append) order. *)
 
+val entries_rev : t -> entry list
+(** All recorded entries, newest first, without copying — with {!length}
+    this lets incremental consumers (the model checker's fingerprint
+    shadow) read just the entries appended since their last look. *)
+
 val length : t -> int
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

@@ -310,14 +310,14 @@ let test_trace_render () =
   in
   let s = Harness.Trace_render.timeline ~topology:topo r.trace in
   Alcotest.(check bool) "mentions the cast" true
-    (Astring_contains.contains s "CAST m0.0");
+    (Util.contains s "CAST m0.0");
   Alcotest.(check bool) "mentions a delivery" true
-    (Astring_contains.contains s "DLVR m0.0");
+    (Util.contains s "DLVR m0.0");
   let truncated =
     Harness.Trace_render.timeline ~max_rows:2 ~topology:topo r.trace
   in
   Alcotest.(check bool) "truncation marker" true
-    (Astring_contains.contains truncated "truncated")
+    (Util.contains truncated "truncated")
 
 let test_campaign_small () =
   let summary =

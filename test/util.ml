@@ -6,6 +6,18 @@ let us = Des.Sim_time.of_us
 let check_no_violations what violations =
   Alcotest.(check (list string)) what [] violations
 
+(* Tiny substring search helper (stdlib has none). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to nh - nn do
+      if (not !found) && String.sub haystack i nn = needle then found := true
+    done;
+    !found
+  end
+
 (* A fast latency model for tests: keeps the intra/inter asymmetry but with
    zero jitter so expectations are exact. *)
 let crisp_latency =
