@@ -61,7 +61,7 @@ let needs_horizon = function P_detmerge -> true | _ -> false
 
 let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
     inter_ms intra_ms horizon_ms print_trace print_timeline genuine_check
-    heartbeat_fd fast_lanes =
+    heartbeat_fd fast_lanes batch batch_delay_ms pipeline =
   let topo = Topology.symmetric ~groups ~per_group in
   let latency =
     Latency.uniform
@@ -108,7 +108,21 @@ let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
       }
     else Amcast.Protocol.Config.default
   in
-  let config = { config with Amcast.Protocol.Config.fast_lanes } in
+  if batch < 1 then (
+    Fmt.epr "amcast_sim: --batch must be >= 1@.";
+    exit 2);
+  if pipeline < 1 then (
+    Fmt.epr "amcast_sim: --pipeline must be >= 1@.";
+    exit 2);
+  let config =
+    {
+      config with
+      Amcast.Protocol.Config.fast_lanes;
+      batch_max = batch;
+      batch_delay = Sim_time.of_ms batch_delay_ms;
+      pipeline;
+    }
+  in
   let until =
     (* A heartbeat detector never quiesces: force a horizon. *)
     if heartbeat_fd && until = None then
@@ -252,6 +266,36 @@ let fast_lanes_t =
            broadcast network events, state GC). $(b,off) runs the \
            reference message pattern.")
 
+let batch_t =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Throughput lane: pack up to $(i,N) casts sharing a destination \
+           set into one R-MCast (flushed at size $(i,N) or after \
+           $(b,--batch-delay)); timestamp fan-outs of one consensus \
+           instance merge likewise. $(b,1) (default) disables batching \
+           and keeps the wire pattern byte-identical to the unbatched \
+           lane. Delivery is per-cast either way.")
+
+let batch_delay_t =
+  Arg.(
+    value & opt int 2
+    & info [ "batch-delay" ] ~docv:"MS"
+        ~doc:
+          "Maximum time a buffered cast waits before its batch is flushed \
+           (milliseconds; only meaningful with $(b,--batch) > 1).")
+
+let pipeline_t =
+  Arg.(
+    value & opt int 1
+    & info [ "pipeline" ] ~docv:"W"
+        ~doc:
+          "Throughput lane: keep up to $(i,W) consensus instances in \
+           flight per group (decisions still apply in instance order). \
+           $(b,1) (default) proposes sequentially, one instance at a \
+           time.")
+
 let genuine_t =
   Arg.(
     value & flag
@@ -265,6 +309,7 @@ let cmd =
     Term.(
       const run_cli $ proto_t $ groups_t $ per_group_t $ messages_t $ seed_t
       $ gap_t $ poisson_t $ kmax_t $ crash_t $ inter_t $ intra_t $ horizon_t
-      $ trace_t $ timeline_t $ genuine_t $ heartbeat_t $ fast_lanes_t)
+      $ trace_t $ timeline_t $ genuine_t $ heartbeat_t $ fast_lanes_t
+      $ batch_t $ batch_delay_t $ pipeline_t)
 
 let () = exit (Cmd.eval' cmd)

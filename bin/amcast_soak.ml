@@ -10,18 +10,33 @@
    code — are bit-identical to a sequential run for any domain count.
 
    Usage: amcast_soak [--fast-lanes on|off] [--nemesis on|off]
+                      [--batch N] [--batch-delay MS] [--pipeline W]
                       [RUNS] [SEED] [DOMAINS]
    DOMAINS defaults to 1 (sequential); pass 0 for the recommended domain
    count of this machine. --fast-lanes defaults to "on"; "off" soaks the
    reference message pattern instead of the fast lanes. --nemesis defaults
    to "off"; "on" replays a seeded fault plan (partition/heal windows,
    latency spikes, FD storms, crash schedule) against every run, with
-   liveness asserted only after each plan's final heal. *)
+   liveness asserted only after each plan's final heal. --batch (default 1
+   = off) soaks the throughput lane's cast batching with the given batch
+   size, --batch-delay (ms, default 2) its flush timeout, and --pipeline
+   (default 1 = sequential) its in-flight consensus-instance window; the
+   summaries then report the batching/pipelining counters. *)
 
 let () =
   let config = ref Amcast.Protocol.Config.default in
   let nemesis = ref false in
+  let batch = ref 1 in
+  let batch_delay_ms = ref 2 in
+  let pipeline = ref 1 in
   let positional = ref [] in
+  let int_arg flag value ~min =
+    match int_of_string_opt value with
+    | Some v when v >= min -> v
+    | _ ->
+      Printf.eprintf "amcast_soak: %s must be an integer >= %d\n" flag min;
+      exit 2
+  in
   let on_off flag value =
     match value with
     | "on" -> true
@@ -42,7 +57,17 @@ let () =
       | "--nemesis" when i + 1 < Array.length Sys.argv ->
         nemesis := on_off "--nemesis" Sys.argv.(i + 1);
         parse (i + 2)
-      | ("--fast-lanes" | "--nemesis") as flag ->
+      | "--batch" when i + 1 < Array.length Sys.argv ->
+        batch := int_arg "--batch" Sys.argv.(i + 1) ~min:1;
+        parse (i + 2)
+      | "--batch-delay" when i + 1 < Array.length Sys.argv ->
+        batch_delay_ms := int_arg "--batch-delay" Sys.argv.(i + 1) ~min:0;
+        parse (i + 2)
+      | "--pipeline" when i + 1 < Array.length Sys.argv ->
+        pipeline := int_arg "--pipeline" Sys.argv.(i + 1) ~min:1;
+        parse (i + 2)
+      | ("--fast-lanes" | "--nemesis" | "--batch" | "--batch-delay"
+        | "--pipeline") as flag ->
         Printf.eprintf "amcast_soak: %s needs an argument\n" flag;
         exit 2
       | a ->
@@ -51,7 +76,14 @@ let () =
   in
   parse 1;
   let positional = Array.of_list (List.rev !positional) in
-  let config = !config in
+  let config =
+    {
+      !config with
+      Amcast.Protocol.Config.batch_max = !batch;
+      batch_delay = Des.Sim_time.of_ms !batch_delay_ms;
+      pipeline = !pipeline;
+    }
+  in
   let with_nemesis = !nemesis in
   let runs =
     if Array.length positional > 0 then int_of_string positional.(0) else 50

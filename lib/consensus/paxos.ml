@@ -191,6 +191,12 @@ let maybe_gc t =
     let f = gc_floor t in
     while t.pruned_upto < f do
       let i = t.pruned_upto + 1 in
+      (* An instance can still carry a live timer here when a pipelining
+         host abandoned it mid-flight; dropping the record without
+         cancelling would leave an orphan timer re-arming forever. *)
+      (match Int_tbl.find_opt t.instances i with
+      | Some inst -> cancel_timer t inst
+      | None -> ());
       Int_tbl.remove t.instances i;
       t.pruned_upto <- i
     done
@@ -477,15 +483,32 @@ let on_suspicion_change t =
           suggest_to_leader t i inst)
       t.instances
 
+(* Fast mode: an instance the lane has moved past — pruned, or at/below
+   the consumed watermark without a recorded decision. The latter covers
+   instances the host abandoned mid-flight (a pipelining window skipped
+   past by a clock jump) and never-proposed gaps: per the [note_consumed]
+   contract they will never be consumed, so stray messages for them must
+   be dropped — [get_instance] would otherwise resurrect acceptor state
+   and timers for an instance nobody will ever finish. *)
+let retired t instance =
+  t.fast
+  && (instance <= t.pruned_upto
+     || (instance <= t.decided_upto
+        &&
+        match Int_tbl.find_opt t.instances instance with
+        | Some { decided = Some _; _ } -> false
+        | Some _ | None -> true))
+
 (* Fast mode: drive traffic for an already-decided instance is answered
    with a point-to-point Decide (the reference mode's all-to-all Decide
    makes this unnecessary there). Returns true when the message is fully
-   handled. Messages for pruned instances are dropped: pruning only
+   handled. Messages for retired instances are dropped: pruning only
    happens once every non-suspected participant's watermark passed the
-   instance, so under an accurate detector no live peer still needs it. *)
+   instance, so under an accurate detector no live peer still needs it,
+   and abandoned instances will never be consumed by anyone. *)
 let fast_handled t ~src instance =
   t.fast
-  && (instance <= t.pruned_upto
+  && (retired t instance
      ||
      match Int_tbl.find_opt t.instances instance with
      | Some { decided = Some v; _ } ->
@@ -549,7 +572,7 @@ let handle t ~src m =
       let r = rank t src in
       if r >= 0 && wm > t.peer_wm.(r) then t.peer_wm.(r) <- wm
     end;
-    if not (t.fast && instance <= t.pruned_upto) then begin
+    if not (retired t instance) then begin
       let inst = get_instance t instance in
       Hashtbl.replace (votes_for inst ballot) src ();
       maybe_decide_from_votes t instance inst ballot
@@ -557,7 +580,7 @@ let handle t ~src m =
     maybe_gc t
   | Decide { instance; value; floor } ->
     if t.fast && floor > t.remote_floor then t.remote_floor <- floor;
-    if not (t.fast && instance <= t.pruned_upto) then begin
+    if not (retired t instance) then begin
       let inst = get_instance t instance in
       (* Fast mode: the announcing coordinator already reached everyone;
          re-broadcasting would reinstate the O(n²) decide storm. *)
@@ -583,7 +606,10 @@ let handle t ~src m =
     if t.fast && t.lease_pending = ballot then begin
       List.iter
         (fun (i, b, v) ->
-          if i > t.pruned_upto then begin
+          (* Skip instances at/below our consumed watermark: locally they
+             are decided (nothing to re-drive) or abandoned (re-driving
+             would resurrect them). *)
+          if i > t.decided_upto && i > t.pruned_upto then begin
             let inst = get_instance t i in
             inst.engaged <- true;
             Hashtbl.replace inst.promises src (Some (b, v))
@@ -599,6 +625,18 @@ let handle t ~src m =
 
 let note_consumed t ~upto =
   if t.fast && upto > t.decided_upto then begin
+    (* Abandon in-flight instances the host skipped past (pipelining: a
+       clock jump can overtake proposed-but-undecided instances). Their
+       timers would otherwise re-arm forever — the instance can never
+       decide once a majority retires it — so quiescence requires dropping
+       them now; [retired] keeps stray messages from resurrecting them. *)
+    for i = t.decided_upto + 1 to upto do
+      match Int_tbl.find_opt t.instances i with
+      | Some inst when inst.decided = None ->
+        cancel_timer t inst;
+        Int_tbl.remove t.instances i
+      | Some _ | None -> ()
+    done;
     t.decided_upto <- upto;
     maybe_gc t
   end

@@ -20,14 +20,23 @@ let name = "a1"
 type entry = { msg : Msg.t; ts : int; stage : Stage.t }
 
 type wire =
-  | Rm of Msg.t Rmcast.Reliable_multicast.msg
+  | Rm of Msg.t list Rmcast.Reliable_multicast.msg
+      (* The R-MCast payload is a batch of casts sharing a destination
+         set; a singleton when batching is off (the batch id is the first
+         message's id, so the unbatched wire pattern is unchanged). *)
   | Ts of { msg : Msg.t; ts : int; from_group : Topology.gid }
+  | Tsb of { msgs : Msg.t list; ts : int; from_group : Topology.gid }
+      (* Throughput lane: the (TS, m) proposals of one consensus instance
+         for every message bound to the same foreign groups, in one
+         fan-out (they all propose the same timestamp — the instance
+         number). Only sent when batching is on. *)
   | Cons of entry list Consensus.Paxos.msg
   | Hb of Fd.Heartbeat.msg (* only with Config.fd_mode = Heartbeat *)
 
 let tag = function
   | Rm m -> Rmcast.Reliable_multicast.tag m
   | Ts _ -> "a1.ts"
+  | Tsb _ -> "a1.tsb"
   | Cons c -> Consensus.Paxos.tag c
   | Hb _ -> "fd.ping"
 
@@ -36,6 +45,10 @@ type pending = {
   mutable ts : int;
   mutable stage : Stage.t;
   mutable handle : Pending_index.handle; (* slot in the ordered index *)
+  mutable inflight : int;
+      (* highest consensus instance this message was proposed to while in
+         its current proposable stage; the pipelining window skips entries
+         with [inflight >= k] (already riding an undecided instance) *)
   proposals : (Topology.gid, int) Hashtbl.t;
       (* timestamp proposals received in (TS, m) messages, per group *)
 }
@@ -52,14 +65,17 @@ type t = {
   proposable : pending Msg_id.Tbl.t; (* the s0/s2 subset of [pending] *)
   adelivered : unit Msg_id.Tbl.t;
   decisions : (int, entry list) Hashtbl.t; (* decided, not yet processed *)
-  mutable rm : (Msg.t, wire) Rmcast.Reliable_multicast.t option;
+  mutable rm : (Msg.t list, wire) Rmcast.Reliable_multicast.t option;
   mutable cons : (entry list, wire) Consensus.Paxos.t option;
   mutable hb : wire Fd.Heartbeat.t option;
+  mutable batcher : Batcher.t option;
   mutable cons_executed : int;
+  mutable depth_max : int; (* max in-flight instances (pipelining) *)
 }
 
 let rm t = Option.get t.rm
 let cons t = Option.get t.cons
+let batcher t = Option.get t.batcher
 
 let other_dest_groups t (m : Msg.t) =
   List.filter (fun g -> g <> t.my_group) m.dest
@@ -89,6 +105,7 @@ let get_or_create_pending t (m : Msg.t) =
         ts = t.k;
         stage = Stage.S0;
         handle = -1;
+        inflight = -1;
         proposals = Hashtbl.create 4;
       }
     in
@@ -115,24 +132,45 @@ let adelivery_test t =
 
 (* Line 14-17: propose all pending s0/s2 messages to instance K. The
    [proposable] table holds exactly that subset, so the snapshot is linear
-   in the proposal size, not in the whole pending table. *)
+   in the proposal size, not in the whole pending table.
+
+   With [pipeline = w > 1], up to [w] instances K..K+w-1 may be undecided
+   at once: each further instance proposes the proposable entries not
+   already riding an in-flight instance ([inflight < K]), so instance i+1
+   starts before i decides. Decisions still apply strictly in K order
+   (process_decisions consumes exactly instance K), and a clock jump
+   abandons overtaken instances via the consensus [note_consumed]
+   contract. With [w = 1] the loop body runs at most once, proposing the
+   full proposable set to instance K — the pre-pipelining behaviour. *)
 let try_propose t =
-  if t.prop_k <= t.k then begin
-    let msg_set =
+  let w = max 1 t.config.Protocol.Config.pipeline in
+  if t.prop_k < t.k then t.prop_k <- t.k;
+  let continue = ref true in
+  while !continue && t.prop_k <= t.k + w - 1 do
+    let snapshot =
       Msg_id.Tbl.fold
-        (fun _ p acc -> { msg = p.msg; ts = p.ts; stage = p.stage } :: acc)
+        (fun _ p acc ->
+          if p.inflight < t.k then
+            ({ msg = p.msg; ts = p.ts; stage = p.stage }, p) :: acc
+          else acc)
         t.proposable []
     in
-    if msg_set <> [] then begin
-      let msg_set =
+    if snapshot = [] then continue := false
+    else begin
+      let snapshot =
         List.sort
-          (fun (a : entry) (b : entry) -> Msg.compare_id a.msg b.msg)
-          msg_set
+          (fun ((a : entry), _) ((b : entry), _) ->
+            Msg.compare_id a.msg b.msg)
+          snapshot
       in
-      Consensus.Paxos.propose (cons t) ~instance:t.k msg_set;
-      t.prop_k <- t.k + 1
+      List.iter (fun (_, p) -> p.inflight <- t.prop_k) snapshot;
+      Consensus.Paxos.propose (cons t) ~instance:t.prop_k
+        (List.map fst snapshot);
+      t.prop_k <- t.prop_k + 1;
+      let depth = t.prop_k - t.k in
+      if depth > t.depth_max then t.depth_max <- depth
     end
-  end
+  done
 
 (* Line 33-40: once (TS, m) proposals from every other destination group
    are in, either skip to s3 (our proposal is the maximum) or adopt the
@@ -168,6 +206,11 @@ let rec process_decisions t =
     t.cons_executed <- t.cons_executed + 1;
     let max_ts = ref 0 in
     let moved_to_s1 = ref [] in
+    (* Throughput lane: every s0 entry of this instance proposes the same
+       timestamp k, so the (TS, m) fan-outs to a given foreign-group set
+       merge into one [Tsb] per set (sent after the loop). *)
+    let batch_ts = Protocol.Config.batching t.config in
+    let ts_buckets = ref [] in
     List.iter
       (fun (e : entry) ->
         if Msg_id.Tbl.mem t.adelivered e.msg.id then
@@ -175,20 +218,39 @@ let rec process_decisions t =
         else begin
           let p = get_or_create_pending t e.msg in
           let multi = not (Msg.is_single_group e.msg) in
-          if multi || not t.config.skip_single_group then begin
+          if e.stage = Stage.S0 && p.stage <> Stage.S0 then
+            (* Pipelined duplicate: two in-flight instances can both carry
+               m at stage s0 (proposed by members with different
+               R-delivery timing). Only the first decide assigns the
+               group timestamp; reprocessing would advance it after the
+               (TS, m) fan-out already left and desynchronise the final
+               timestamps across groups. Every member skips identically:
+               stage >= s1 holds iff an earlier instance s0-decided m,
+               and decisions apply in the same order everywhere. [e.ts]
+               is part of the decided value, so the clock-jump
+               contribution is deterministic too. *)
+            max_ts := max !max_ts e.ts
+          else if multi || not t.config.skip_single_group then begin
             match e.stage with
             | Stage.S0 ->
               (* Group proposal for m's timestamp is the instance number. *)
               move t p ~ts:k ~stage:Stage.S1;
               max_ts := max !max_ts k;
-              let dest_outside =
-                Topology.pids_of_groups t.services.Services.topology
-                  (other_dest_groups t e.msg)
-              in
-              (if t.config.fast_lanes then Services.send_multi
-               else Services.send_all)
-                t.services dest_outside
-                (Ts { msg = e.msg; ts = k; from_group = t.my_group });
+              (if batch_ts then begin
+                 let key = other_dest_groups t e.msg in
+                 match List.assoc_opt key !ts_buckets with
+                 | Some b -> b := e.msg :: !b
+                 | None -> ts_buckets := !ts_buckets @ [ (key, ref [ e.msg ]) ]
+               end
+               else
+                 let dest_outside =
+                   Topology.pids_of_groups t.services.Services.topology
+                     (other_dest_groups t e.msg)
+                 in
+                 (if t.config.fast_lanes then Services.send_multi
+                  else Services.send_all)
+                   t.services dest_outside
+                   (Ts { msg = e.msg; ts = k; from_group = t.my_group }));
               moved_to_s1 := e.msg.id :: !moved_to_s1
             | Stage.S2 ->
               (* Clock pushed past the final timestamp: m is ready. *)
@@ -204,8 +266,24 @@ let rec process_decisions t =
           end
         end)
       entries;
+    List.iter
+      (fun (key, b) ->
+        let dest_outside =
+          Topology.pids_of_groups t.services.Services.topology key
+        in
+        (if t.config.fast_lanes then Services.send_multi
+         else Services.send_all)
+          t.services dest_outside
+          (Tsb { msgs = List.rev !b; ts = k; from_group = t.my_group }))
+      !ts_buckets;
     (* Line 31: K <- max(max ts decided, K) + 1. *)
     t.k <- max !max_ts t.k + 1;
+    (* A clock jump abandons any decided-but-unprocessed instances it
+       overtakes (pipelining): every member jumps identically, so these
+       decisions are consumed by nobody — drop them before they leak. *)
+    for i = k + 1 to t.k - 1 do
+      Hashtbl.remove t.decisions i
+    done;
     (* The group clock can jump past unproposed instance numbers (every
        member follows the same K sequence, so the gaps are never filled);
        let the consensus GC watermark advance across them. *)
@@ -218,33 +296,51 @@ let rec process_decisions t =
 
 (* Line 10-13: first sight of a message (R-Delivered or piggybacked on a
    TS message) puts it in stage s0 with the current clock as timestamp. *)
-let note_message t (m : Msg.t) =
+let note_one t (m : Msg.t) =
   if
     (not (Msg_id.Tbl.mem t.pending m.id))
     && not (Msg_id.Tbl.mem t.adelivered m.id)
   then begin
     ignore (get_or_create_pending t m);
-    try_propose t
+    true
   end
+  else false
 
-let cast t (m : Msg.t) =
-  Rmcast.Reliable_multicast.rmcast (rm t) ~id:m.id
-    ~dest:(Msg.dest_pids t.services.Services.topology m)
-    m
+let note_message t (m : Msg.t) = if note_one t m then try_propose t
+
+(* R-Delivery of a batch: every message enters stage s0 {e before} the
+   single proposal attempt, so the whole batch rides one consensus
+   snapshot instead of the first message triggering a proposal that
+   splits it. *)
+let note_batch t msgs =
+  let fresh =
+    List.fold_left
+      (fun acc m ->
+        let f = note_one t m in
+        f || acc)
+      false msgs
+  in
+  if fresh then try_propose t
+
+let cast t (m : Msg.t) = Batcher.add (batcher t) m
+
+let handle_ts t ~from_group ~ts (msg : Msg.t) =
+  if not (Msg_id.Tbl.mem t.adelivered msg.id) then begin
+    note_message t msg;
+    (match Msg_id.Tbl.find_opt t.pending msg.id with
+    | Some p ->
+      if not (Hashtbl.mem p.proposals from_group) then
+        Hashtbl.replace p.proposals from_group ts
+    | None -> ());
+    check_s1 t msg.id
+  end
 
 let on_receive t ~src w =
   match w with
   | Rm rmsg -> Rmcast.Reliable_multicast.handle (rm t) ~src rmsg
-  | Ts { msg; ts; from_group } ->
-    if not (Msg_id.Tbl.mem t.adelivered msg.id) then begin
-      note_message t msg;
-      (match Msg_id.Tbl.find_opt t.pending msg.id with
-      | Some p ->
-        if not (Hashtbl.mem p.proposals from_group) then
-          Hashtbl.replace p.proposals from_group ts
-      | None -> ());
-      check_s1 t msg.id
-    end
+  | Ts { msg; ts; from_group } -> handle_ts t ~from_group ~ts msg
+  | Tsb { msgs; ts; from_group } ->
+    List.iter (fun m -> handle_ts t ~from_group ~ts m) msgs
   | Cons cmsg -> Consensus.Paxos.handle (cons t) ~src cmsg
   | Hb m -> (
     match t.hb with
@@ -268,7 +364,9 @@ let create ~services ~config ~deliver =
       rm = None;
       cons = None;
       hb = None;
+      batcher = None;
       cons_executed = 0;
+      depth_max = 0;
     }
   in
   let detector =
@@ -293,8 +391,30 @@ let create ~services ~config ~deliver =
          ~mode:config.Protocol.Config.rm_mode
          ~oracle_delay:config.Protocol.Config.oracle_delay
          ~fast_lanes:config.Protocol.Config.fast_lanes
-         ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m -> note_message t m)
+         ?coalesce:
+           (if Protocol.Config.batching config then
+              Some
+                ( config.Protocol.Config.batch_max,
+                  config.Protocol.Config.batch_delay )
+            else None)
+         ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ msgs -> note_batch t msgs)
          ());
+  t.batcher <-
+    Some
+      (Batcher.create ~max:config.Protocol.Config.batch_max
+         ~delay:config.Protocol.Config.batch_delay
+         ~set_timer:services.Services.set_timer
+         ~cancel_timer:services.Services.cancel_timer
+         ~flush:(fun ~key msgs ->
+           (* One R-MCast carries the whole batch; its id is the first
+              message's (globally unique, and with a singleton batch this
+              is exactly the unbatched dissemination). [key] is the shared
+              normalized destination-group list, so the pid fan-out equals
+              each message's own [Msg.dest_pids]. *)
+           let first = List.hd msgs in
+           Rmcast.Reliable_multicast.rmcast (rm t) ~id:first.Msg.id
+             ~dest:(Topology.pids_of_groups services.Services.topology key)
+             msgs));
   t.cons <-
     Some
       (Consensus.Paxos.create ~services
@@ -306,8 +426,12 @@ let create ~services ~config ~deliver =
          ~timeout:config.Protocol.Config.consensus_timeout
          ~fast_lanes:config.Protocol.Config.fast_lanes
          ~on_decide:(fun ~instance v ->
-           Hashtbl.replace t.decisions instance v;
-           process_decisions t)
+           (* A decide for an instance the group clock already jumped past
+              is for an abandoned instance — consumed by nobody. *)
+           if instance >= t.k then begin
+             Hashtbl.replace t.decisions instance v;
+             process_decisions t
+           end)
          ());
   t
 
@@ -321,4 +445,9 @@ let stats t =
     ("rm.entries", Rmcast.Reliable_multicast.retained_entries (rm t));
     ("rm.tombstones", Rmcast.Reliable_multicast.reclaimed_entries (rm t));
     ("pending", Msg_id.Tbl.length t.pending);
+    ("batches_formed", Batcher.batches_formed (batcher t));
+    ("batched_casts", Batcher.casts_packed (batcher t));
+    ("casts_per_batch_max", Batcher.max_batch (batcher t));
+    ("pipeline_depth_max", t.depth_max);
+    ("acks_coalesced", Rmcast.Reliable_multicast.acks_coalesced (rm t));
   ]

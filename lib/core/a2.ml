@@ -4,7 +4,10 @@ open Runtime
 let name = "a2"
 
 type wire =
-  | Rm of Msg.t Rmcast.Reliable_multicast.msg
+  | Rm of Msg.t list Rmcast.Reliable_multicast.msg
+      (* The R-MCast payload is a batch of casts (a singleton when
+         batching is off; the batch id is the first message's id, so the
+         unbatched wire pattern is unchanged). *)
   | Bundle of { round : int; msgs : Msg.t list }
   | Cons of Msg.t list Consensus.Paxos.msg
   | Hb of Fd.Heartbeat.msg (* only with Config.fd_mode = Heartbeat *)
@@ -43,14 +46,22 @@ type t = {
   und_handles : Pending_index.handle Msg_id.Tbl.t;
   adelivered : unit Msg_id.Tbl.t;
   rounds : (int, round_state) Hashtbl.t;
-  mutable rm : (Msg.t, wire) Rmcast.Reliable_multicast.t option;
+  pipeline : int;
+  inflight : int Msg_id.Tbl.t;
+      (* highest instance each undelivered message was proposed to; the
+         pipelining window skips messages with mark >= k (already riding
+         an undecided instance). Unused (empty) when [pipeline = 1]. *)
+  mutable rm : (Msg.t list, wire) Rmcast.Reliable_multicast.t option;
   mutable cons : (Msg.t list, wire) Consensus.Paxos.t option;
   mutable hb : wire Fd.Heartbeat.t option;
+  mutable batcher : Batcher.t option;
   mutable rounds_executed : int;
+  mutable depth_max : int; (* max in-flight instances (pipelining) *)
 }
 
 let rm t = Option.get t.rm
 let cons t = Option.get t.cons
+let batcher t = Option.get t.batcher
 
 let round_state t r =
   match Hashtbl.find_opt t.rounds r with
@@ -71,17 +82,55 @@ let has_undelivered t = not (Pending_index.is_empty t.und)
    landing just after the round opened still joins its bundle — that slack
    is what realises Theorem 5.1's latency-degree-1 schedule, and the
    pseudocode's "When" guards allow any such scheduling. *)
+(* Pipelining (w > 1): once instance K is in flight, propose up to w-1
+   further instances, each carrying the undelivered messages not already
+   riding an undecided instance (mark < K). A message whose instance loses
+   it (decided without it) becomes proposable again as soon as K advances
+   past its mark, so leftovers ride the next free instance. Decisions
+   still apply strictly in round order — [maybe_finish_round] consumes
+   exactly round K; [round_state] buffers out-of-order decides. *)
+let pipeline_extend t =
+  if t.pipeline > 1 then begin
+    let continue = ref true in
+    while !continue && t.prop_k <= t.k + t.pipeline - 1 do
+      let snapshot =
+        List.filter
+          (fun (m : Msg.t) ->
+            match Msg_id.Tbl.find_opt t.inflight m.id with
+            | Some mark -> mark < t.k
+            | None -> true)
+          (undelivered t)
+      in
+      if snapshot = [] then continue := false
+      else begin
+        List.iter
+          (fun (m : Msg.t) -> Msg_id.Tbl.replace t.inflight m.id t.prop_k)
+          snapshot;
+        Consensus.Paxos.propose (cons t) ~instance:t.prop_k snapshot;
+        t.prop_k <- t.prop_k + 1;
+        let depth = t.prop_k - t.k in
+        if depth > t.depth_max then t.depth_max <- depth
+      end
+    done
+  end
+
 let propose_now t =
   (match t.grace_timer with
   | Some h ->
     t.services.Services.cancel_timer h;
     t.grace_timer <- None
   | None -> ());
-  Consensus.Paxos.propose (cons t) ~instance:t.k (undelivered t);
-  t.prop_k <- t.k + 1
+  let snapshot = undelivered t in
+  if t.pipeline > 1 then
+    List.iter
+      (fun (m : Msg.t) -> Msg_id.Tbl.replace t.inflight m.id t.k)
+      snapshot;
+  Consensus.Paxos.propose (cons t) ~instance:t.k snapshot;
+  t.prop_k <- t.k + 1;
+  pipeline_extend t
 
 let try_propose t =
-  if t.prop_k <= t.k then
+  if t.prop_k <= t.k then begin
     if
       has_undelivered t
       (* Catching up — another group's bundle for this round has already
@@ -100,6 +149,8 @@ let try_propose t =
                  t.prop_k <= t.k
                  && (has_undelivered t || t.k <= t.barrier)
                then propose_now t))
+  end
+  else pipeline_extend t
 
 (* Line 14-23: close round K once our bundle is decided and a bundle from
    every other group has arrived. *)
@@ -137,6 +188,7 @@ let rec maybe_finish_round t =
             Pending_index.remove t.und h;
             Msg_id.Tbl.remove t.und_handles m.id
           | None -> ());
+          Msg_id.Tbl.remove t.inflight m.id;
           t.deliver m)
         to_deliver;
       Hashtbl.remove t.rounds t.k;
@@ -161,20 +213,31 @@ let rec maybe_finish_round t =
       maybe_finish_round t
     end
 
-let on_rdeliver t (m : Msg.t) =
+let note_rdelivered t (m : Msg.t) =
   if not (Msg_id.Tbl.mem t.rdelivered m.id) then begin
     Msg_id.Tbl.replace t.rdelivered m.id m;
     if not (Msg_id.Tbl.mem t.adelivered m.id) then
       Msg_id.Tbl.replace t.und_handles m.id
         (Pending_index.add t.und ~ts:0 ~id:m.id m);
-    try_propose t
+    true
   end
+  else false
 
-let cast_payload_only t (m : Msg.t) =
-  (* Line 4-5: R-MCast to the caster's own group only. *)
-  Rmcast.Reliable_multicast.rmcast (rm t) ~id:m.id
-    ~dest:(Topology.members t.services.Services.topology t.my_group)
-    m
+(* R-Delivery of a batch: every message joins the undelivered backlog
+   {e before} the single proposal attempt, so the whole batch rides one
+   round instead of the first message triggering a proposal that splits
+   it. *)
+let on_rdeliver t msgs =
+  let fresh =
+    List.fold_left
+      (fun acc m ->
+        let f = note_rdelivered t m in
+        f || acc)
+      false msgs
+  in
+  if fresh then try_propose t
+
+let cast_payload_only t (m : Msg.t) = Batcher.add (batcher t) m
 
 let cast t (m : Msg.t) =
   if
@@ -231,10 +294,14 @@ let create ~services ~config ~deliver =
       und_handles = Msg_id.Tbl.create 64;
       adelivered = Msg_id.Tbl.create 64;
       rounds = Hashtbl.create 16;
+      pipeline = max 1 config.Protocol.Config.pipeline;
+      inflight = Msg_id.Tbl.create 64;
       rm = None;
       cons = None;
       hb = None;
+      batcher = None;
       rounds_executed = 0;
+      depth_max = 0;
     }
   in
   let detector =
@@ -258,8 +325,29 @@ let create ~services ~config ~deliver =
          ~mode:config.Protocol.Config.rm_mode
          ~oracle_delay:config.Protocol.Config.oracle_delay
          ~fast_lanes:config.Protocol.Config.fast_lanes
-         ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ m -> on_rdeliver t m)
+         ?coalesce:
+           (if Protocol.Config.batching config then
+              Some
+                ( config.Protocol.Config.batch_max,
+                  config.Protocol.Config.batch_delay )
+            else None)
+         ~on_deliver:(fun ~id:_ ~origin:_ ~dest:_ msgs -> on_rdeliver t msgs)
          ());
+  t.batcher <-
+    Some
+      (Batcher.create ~max:config.Protocol.Config.batch_max
+         ~delay:config.Protocol.Config.batch_delay
+         ~set_timer:services.Services.set_timer
+         ~cancel_timer:services.Services.cancel_timer
+         ~flush:(fun ~key:_ msgs ->
+           (* Line 4-5: R-MCast to the caster's own group only. One
+              R-MCast carries the whole batch; its id is the first
+              message's (globally unique), so a singleton batch is exactly
+              the unbatched dissemination. *)
+           let first = List.hd msgs in
+           Rmcast.Reliable_multicast.rmcast (rm t) ~id:first.Msg.id
+             ~dest:(Topology.members topology my_group)
+             msgs));
   t.cons <-
     Some
       (Consensus.Paxos.create ~services
@@ -286,4 +374,9 @@ let stats t =
     ("rm.tombstones", Rmcast.Reliable_multicast.reclaimed_entries (rm t));
     ("pending", Pending_index.size t.und);
     ("rounds", Hashtbl.length t.rounds);
+    ("batches_formed", Batcher.batches_formed (batcher t));
+    ("batched_casts", Batcher.casts_packed (batcher t));
+    ("casts_per_batch_max", Batcher.max_batch (batcher t));
+    ("pipeline_depth_max", t.depth_max);
+    ("acks_coalesced", Rmcast.Reliable_multicast.acks_coalesced (rm t));
   ]

@@ -19,6 +19,21 @@ module Config = struct
     null_period : Des.Sim_time.t;
     opt_window : Des.Sim_time.t;
     fast_lanes : bool;
+    batch_max : int;
+        (* Throughput lane: maximum application casts packed into one
+           batch (one R-MCast dissemination / one ordering payload).
+           1 disables batching entirely — the cast path is byte-identical
+           to the pre-batching protocol. *)
+    batch_delay : Des.Sim_time.t;
+        (* Flush timeout: a partially filled batch is flushed this long
+           after its first cast (size-or-timeout policy). Irrelevant when
+           [batch_max = 1]. Also the ack-coalescing window of the uniform
+           R-MCast Copy lane. *)
+    pipeline : int;
+        (* In-flight consensus instance window: up to this many ordering
+           instances may be undecided at once (instance i+1 is proposed
+           before i decides; decisions are applied in order). 1 preserves
+           the sequential instance-per-round behaviour bit-for-bit. *)
   }
 
   let default =
@@ -34,9 +49,25 @@ module Config = struct
       null_period = Des.Sim_time.of_ms 10;
       opt_window = Des.Sim_time.of_ms 5;
       fast_lanes = true;
+      batch_max = 1;
+      batch_delay = Des.Sim_time.of_ms 2;
+      pipeline = 1;
     }
 
   let reference = { default with fast_lanes = false }
+
+  (* The high-throughput lane: batch casts, keep several consensus
+     instances in flight, coalesce uniform-mode acks. Safety-equivalent to
+     [default] and [reference] (asserted by the batching differentials);
+     trades per-cast latency slack for saturation throughput. *)
+  let throughput =
+    { default with batch_max = 8; batch_delay = Des.Sim_time.of_ms 2;
+      pipeline = 4 }
+
+  (* The batching/pipelining lane is on iff any knob departs from its
+     neutral value. *)
+  let batching t = t.batch_max > 1
+  let pipelined t = t.pipeline > 1
 
   let fritzke =
     {

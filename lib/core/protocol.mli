@@ -84,6 +84,21 @@ module Config : sig
             {e intra-group} message complexity changes, so Figure 1
             inter-group counts and Section 2.3 latency degrees are
             unaffected. *)
+    batch_max : int;
+        (** Throughput lane: maximum application casts packed into one
+            batch — one R-MCast dissemination and one ordering payload.
+            [1] (the default) disables batching; the cast path is then
+            byte-identical to the pre-batching protocol. *)
+    batch_delay : Des.Sim_time.t;
+        (** Flush timeout of the size-or-timeout batching policy: a
+            partially filled batch is flushed this long after its first
+            cast. Also the ack-coalescing window of the uniform R-MCast
+            Copy lane. Irrelevant when [batch_max = 1]. *)
+    pipeline : int;
+        (** In-flight consensus instance window: up to this many ordering
+            instances may be undecided at once (instance [i+1] is proposed
+            before [i] decides; decisions apply in order). [1] (the
+            default) preserves the sequential behaviour bit-for-bit. *)
   }
 
   val default : t
@@ -93,6 +108,18 @@ module Config : sig
   val reference : t
   (** {!default} with [fast_lanes = false] — the pre-fast-lane message
       pattern, for differential runs. *)
+
+  val throughput : t
+  (** The high-throughput lane: {!default} with [batch_max = 8],
+      [batch_delay = 2ms], [pipeline = 4]. Safety-equivalent to {!default}
+      and {!reference} (asserted by the batching differentials); trades
+      per-cast latency slack for saturation throughput. *)
+
+  val batching : t -> bool
+  (** [batch_max > 1]. *)
+
+  val pipelined : t -> bool
+  (** [pipeline > 1]. *)
 
   val fritzke : t
   (** The Fritzke et al. [5] baseline: no stage skipping. The initial

@@ -87,14 +87,21 @@ let faults_for s topo =
       (Topology.all_groups topo)
   end
 
-(* Label-wise sum of assoc lists, result sorted by label so the merge is
-   order-insensitive. *)
+(* Label-wise merge of assoc lists, result sorted by label so the merge is
+   order-insensitive. Labels ending in "_max" are high-water marks and
+   combine by max; everything else is a count and sums. *)
+let is_max_label label =
+  let suffix = "_max" in
+  let ls = String.length suffix and ll = String.length label in
+  ll >= ls && String.sub label (ll - ls) ls = suffix
+
 let sum_retained lists =
   let tbl = Hashtbl.create 8 in
   List.iter
     (List.iter (fun (label, n) ->
+         let prev = Option.value ~default:0 (Hashtbl.find_opt tbl label) in
          Hashtbl.replace tbl label
-           (n + Option.value ~default:0 (Hashtbl.find_opt tbl label))))
+           (if is_max_label label then max prev n else prev + n)))
     lists;
   Hashtbl.fold (fun label n acc -> (label, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

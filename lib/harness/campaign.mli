@@ -38,8 +38,10 @@ type outcome = {
   drained : bool;
   steps : int;  (** Simulation events executed by this run. *)
   retained : (string * int) list;
-      (** End-of-run {!Amcast.Protocol.S.stats} counters, summed over all
-          processes, sorted by label. *)
+      (** End-of-run {!Amcast.Protocol.S.stats} counters, merged over all
+          processes and sorted by label: counts sum, [*_max] labels
+          (high-water marks, e.g. the throughput lane's
+          [pipeline_depth_max]) take the maximum. *)
 }
 
 type summary = {
@@ -50,9 +52,10 @@ type summary = {
   delivered_total : int;
   total_steps : int;  (** Simulation events executed across all runs. *)
   retained_total : (string * int) list;
-      (** Label-wise sum of every outcome's [retained] counters — how much
-          protocol state survived to the end of the runs (a growth check
-          for the fast-lane GC). *)
+      (** Label-wise merge of every outcome's [retained] counters (sums,
+          maxima for [*_max] labels) — how much protocol state survived
+          to the end of the runs (a growth check for the fast-lane GC),
+          plus the throughput-lane batching/pipelining counters. *)
 }
 
 val random_scenario :

@@ -20,6 +20,30 @@ type dest_kind =
   | To_all_groups
   | Random_groups of int
   | Fixed_groups of Topology.gid list
+  | Zipfian_groups of { kmax : int; theta : float }
+
+(* Zipf-weighted index in [0, n): rank r has weight 1/(r+1)^theta, so low
+   ranks are hot and theta tunes the skew (0 = uniform). Linear scan —
+   topology-scale n only. *)
+let zipf_index ~rng ~theta n =
+  if n <= 1 then 0
+  else begin
+    let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let x = Rng.float rng total in
+    let acc = ref 0.0 in
+    let idx = ref (n - 1) in
+    (try
+       for i = 0 to n - 1 do
+         acc := !acc +. w.(i);
+         if x < !acc then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !idx
+  end
 
 let pick_dest ~rng ~topology = function
   | To_all_groups -> Topology.all_groups topology
@@ -30,15 +54,38 @@ let pick_dest ~rng ~topology = function
     let size = 1 + Rng.int rng k in
     Rng.sample_without_replacement rng size (Topology.all_groups topology)
     |> List.sort_uniq Int.compare
+  | Zipfian_groups { kmax; theta } ->
+    (* Placement skew: destination sets concentrate on low-ranked (hot)
+       groups, like a workload with popular partitions. Distinct draws by
+       rejection — deterministic under the seeded rng. *)
+    let all = Array.of_list (Topology.all_groups topology) in
+    let m = Array.length all in
+    let kmax = max 1 (min kmax m) in
+    let size = 1 + Rng.int rng kmax in
+    let chosen = Hashtbl.create 4 in
+    while Hashtbl.length chosen < size do
+      let g = all.(zipf_index ~rng ~theta m) in
+      if not (Hashtbl.mem chosen g) then Hashtbl.replace chosen g ()
+    done;
+    Hashtbl.fold (fun g () acc -> g :: acc) chosen []
+    |> List.sort_uniq Int.compare
 
 let generate ~rng ~topology ~n ~dest ~arrival ?(start = Sim_time.of_ms 1)
-    ?origins () =
+    ?origins ?origin_zipf () =
   let origins =
     match origins with
     | Some (_ :: _ as l) -> Array.of_list l
     | Some [] | None -> Array.of_list (Topology.all_pids topology)
   in
+  let pick_origin =
+    match origin_zipf with
+    | None -> fun () -> Rng.pick rng origins
+    | Some theta ->
+      (* Hot-origin skew: a few processes produce most of the load. *)
+      fun () -> origins.(zipf_index ~rng ~theta (Array.length origins))
+  in
   let time = ref start in
+  let burst_left = ref 0 in
   List.init n (fun i ->
       let at = !time in
       (match arrival with
@@ -47,10 +94,23 @@ let generate ~rng ~topology ~n ~dest ~arrival ?(start = Sim_time.of_ms 1)
         let gap =
           Rng.exponential rng ~mean:(float_of_int (Sim_time.to_us mean))
         in
-        time := Sim_time.add_us !time (max 1 (int_of_float gap)));
+        time := Sim_time.add_us !time (max 1 (int_of_float gap))
+      | `Bursty (mean_gap, burst_max) ->
+        (* Open-loop bursty arrivals: bursts of 1..burst_max casts land at
+           the same instant, with exponentially distributed gaps between
+           bursts — the arrival shape that stresses batching. *)
+        if !burst_left > 0 then decr burst_left
+        else begin
+          burst_left := Rng.int rng (max 1 burst_max);
+          let gap =
+            Rng.exponential rng
+              ~mean:(float_of_int (Sim_time.to_us mean_gap))
+          in
+          time := Sim_time.add_us !time (max 1 (int_of_float gap))
+        end);
       {
         at;
-        origin = Rng.pick rng origins;
+        origin = pick_origin ();
         dest = pick_dest ~rng ~topology dest;
         payload = Fmt.str "m%d" i;
       })

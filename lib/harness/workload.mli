@@ -37,20 +37,34 @@ type dest_kind =
   | Random_groups of int
       (** A uniformly random non-empty subset of at most [k] groups. *)
   | Fixed_groups of Net.Topology.gid list
+  | Zipfian_groups of { kmax : int; theta : float }
+      (** Placement skew: a non-empty subset of at most [kmax] groups,
+          drawn (distinct) with Zipf([theta]) popularity over group rank —
+          low-numbered groups are hot. [theta = 0] degenerates to uniform;
+          [theta ~ 1] is the classic hot-partition shape. *)
 
 val generate :
   rng:Des.Rng.t ->
   topology:Net.Topology.t ->
   n:int ->
   dest:dest_kind ->
-  arrival:[ `Every of Des.Sim_time.t | `Poisson of Des.Sim_time.t ] ->
+  arrival:
+    [ `Every of Des.Sim_time.t
+    | `Poisson of Des.Sim_time.t
+    | `Bursty of Des.Sim_time.t * int ] ->
   ?start:Des.Sim_time.t ->
   ?origins:Net.Topology.pid list ->
+  ?origin_zipf:float ->
   unit ->
   t
 (** [n] casts from random origins (drawn from [origins], default: all
-    processes), with either fixed spacing or exponentially distributed
-    gaps of the given mean, starting at [start] (default 1ms). *)
+    processes), starting at [start] (default 1ms). [`Every gap] spaces
+    casts evenly; [`Poisson mean] draws exponentially distributed gaps;
+    [`Bursty (mean_gap, burst_max)] is the open-loop saturation shape —
+    bursts of 1..[burst_max] simultaneous casts separated by exponential
+    gaps of the given mean. [origin_zipf] skews origin choice with
+    Zipf(theta) popularity over the origins list's order (hot producers);
+    omitted = uniform. *)
 
 val span : t -> Des.Sim_time.t
 (** Instant of the last cast ({!Des.Sim_time.zero} for the empty

@@ -47,6 +47,13 @@ type 'w t = {
   mutable explode_fanout : bool;
       (* controlled-scheduling mode: give every fan-out destination its own
          scheduler event so a model checker can reorder them individually *)
+  mutable tx_cost : Sim_time.t;
+      (* per-message egress serialization at the sender's NIC: each
+         admitted message occupies the source for [tx_cost] before its
+         propagation delay starts, so fan-outs and high offered rates
+         queue at the sender instead of enjoying infinite bandwidth. Zero
+         (the default) keeps the pure-latency model byte for byte. *)
+  mutable next_free : Sim_time.t array; (* per-source egress availability *)
   mutable sent_total : int;
   mutable sent_inter : int;
   mutable sent_intra : int;
@@ -67,6 +74,8 @@ let create ~sched ~topology ~latency ~rng ~deliver =
     send_filter = None;
     taps = [];
     explode_fanout = false;
+    tx_cost = Sim_time.zero;
+    next_free = Array.make (Topology.n_processes topology) Sim_time.zero;
     sent_total = 0;
     sent_inter = 0;
     sent_intra = 0;
@@ -157,7 +166,17 @@ let admit t ~src ~src_group ~dst payload =
     else t.sent_inter <- t.sent_inter + 1;
     List.iter (fun tap -> tap ~src ~dst payload) t.taps;
     let delay = sample_delay t ~src_group ~dst_group in
-    let arrival = Sim_time.add (Scheduler.now t.sched) delay in
+    let departure =
+      if Sim_time.compare t.tx_cost Sim_time.zero > 0 then begin
+        (* Serialize at the sender's NIC: this message departs once the
+           egress is free, and occupies it for [tx_cost]. *)
+        let d = Sim_time.max (Scheduler.now t.sched) t.next_free.(src) in
+        t.next_free.(src) <- Sim_time.add d t.tx_cost;
+        d
+      end
+      else Scheduler.now t.sched
+    in
+    let arrival = Sim_time.add departure delay in
     Some (Sim_time.max arrival (hold_floor t ~src_group ~dst_group))
   end
 
@@ -307,6 +326,13 @@ let latency_scale t ~src_group ~dst_group scale =
 
 let set_send_filter t f = t.send_filter <- f
 let set_explode_fanout t b = t.explode_fanout <- b
+
+let set_tx_cost t c =
+  if Sim_time.compare c Sim_time.zero < 0 then
+    invalid_arg "Network.set_tx_cost: cost must be >= 0";
+  t.tx_cost <- c
+
+let tx_cost t = t.tx_cost
 let on_send t tap = t.taps <- t.taps @ [ tap ]
 let sent_total t = t.sent_total
 let sent_inter_group t = t.sent_inter

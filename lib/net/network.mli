@@ -98,6 +98,18 @@ val set_explode_fanout : 'w t -> bool -> unit
     reorderable choice for the model checker. Latency draws, counters and
     taps are unchanged — only the event-queue shape differs. *)
 
+val set_tx_cost : 'w t -> Des.Sim_time.t -> unit
+(** Per-message egress serialization cost at the sender (default zero).
+    When positive, each admitted message departs only once the source's
+    egress is free and occupies it for this long, so fan-outs and high
+    offered rates queue at the sender — the saturation model the
+    throughput benchmarks need. Zero keeps the pure-latency model byte
+    for byte (no extra state is read or written).
+    @raise Invalid_argument if the cost is negative. *)
+
+val tx_cost : 'w t -> Des.Sim_time.t
+(** The current egress serialization cost. *)
+
 val on_send :
   'w t ->
   (src:Topology.pid -> dst:Topology.pid -> 'w -> unit) ->

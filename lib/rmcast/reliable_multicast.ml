@@ -15,17 +15,26 @@ type 'p msg =
   | Fetch of { id : Msg_id.t }
       (* Fast-lane payload pull, for the rare race where a Copy beats every
          payload-bearing Data to a process. Answered point-to-point. *)
+  | Copies of { acks : (Msg_id.t * Topology.pid * Topology.pid list) list }
+      (* Throughput lane: several Copy acks with the same recipients merged
+         into one fan-out, so a batch of uniform casts costs O(1) ack
+         messages instead of one per cast. Each (id, origin, dest) triple
+         is processed exactly as a standalone Copy would be; delaying the
+         acks inside the coalescing window is indistinguishable from
+         network latency. *)
 
 let tag = function
   | Data _ -> "rm.data"
   | Copy _ -> "rm.copy"
   | Fetch _ -> "rm.fetch"
+  | Copies _ -> "rm.copies"
 
 let pp_msg ppf m =
   match m with
   | Data { id; _ } -> Fmt.pf ppf "rm.data(%a)" Msg_id.pp id
   | Copy { id; _ } -> Fmt.pf ppf "rm.copy(%a)" Msg_id.pp id
   | Fetch { id } -> Fmt.pf ppf "rm.fetch(%a)" Msg_id.pp id
+  | Copies { acks } -> Fmt.pf ppf "rm.copies(%d)" (List.length acks)
 
 type mode = Eager_nonuniform | Ack_uniform
 
@@ -48,6 +57,15 @@ type ('p, 'w) t = {
   fast : bool;
   known : 'p known Msg_id.Tbl.t;
   mutable reclaimed_count : int;
+  coalesce : (int * Des.Sim_time.t) option;
+      (* (max acks per Copies, flush timeout); None sends plain Copy —
+         byte-identical to the pre-coalescing protocol *)
+  mutable ack_buf :
+    (Topology.pid list * (Msg_id.t * Topology.pid * Topology.pid list) list ref)
+    list; (* buffered acks keyed by recipient set, insertion order *)
+  mutable ack_timer : int option;
+  mutable acks_merged : int; (* acks that travelled in a Copies message *)
+  mutable copies_sent : int; (* Copies fan-outs those acks collapsed into *)
   on_deliver :
     id:Msg_id.t ->
     origin:Topology.pid ->
@@ -81,6 +99,50 @@ let fan_out t pids w =
   if t.fast then Services.send_multi t.services pids w
   else Services.send_all t.services pids w
 
+let flush_ack_bucket t pids acks =
+  t.acks_merged <- t.acks_merged + List.length acks;
+  t.copies_sent <- t.copies_sent + 1;
+  fan_out t pids (t.wrap (Copies { acks }))
+
+let flush_acks t =
+  (match t.ack_timer with
+  | Some h ->
+    t.services.Services.cancel_timer h;
+    t.ack_timer <- None
+  | None -> ());
+  let buf = t.ack_buf in
+  t.ack_buf <- [];
+  List.iter (fun (pids, acks) -> flush_ack_bucket t pids (List.rev !acks)) buf
+
+(* Queue one Copy-equivalent ack for [pids]; flush the bucket when it
+   reaches the coalescing cap, or [delay] after its first ack. *)
+let buffer_ack t ~max ~delay pids ack =
+  let bucket =
+    match List.assoc_opt pids t.ack_buf with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      t.ack_buf <- t.ack_buf @ [ (pids, b) ];
+      b
+  in
+  bucket := ack :: !bucket;
+  if List.length !bucket >= max then begin
+    t.ack_buf <- List.filter (fun (p, _) -> p <> pids) t.ack_buf;
+    flush_ack_bucket t pids (List.rev !bucket);
+    if t.ack_buf = [] then
+      match t.ack_timer with
+      | Some h ->
+        t.services.Services.cancel_timer h;
+        t.ack_timer <- None
+      | None -> ()
+  end
+  else if t.ack_timer = None then
+    t.ack_timer <-
+      Some
+        (t.services.Services.set_timer ~after:delay (fun () ->
+             t.ack_timer <- None;
+             flush_acks t))
+
 let rec relay t id k =
   if (not k.relayed) && not k.reclaimed then
     match k.payload with
@@ -93,10 +155,16 @@ let rec relay t id k =
       Hashtbl.replace k.copies self ();
       let others = List.filter (fun q -> q <> self) k.dest in
       (match t.mode with
-      | Ack_uniform when t.fast ->
+      | Ack_uniform when t.fast -> (
         (* The payload travelled once (origin fan-out or Fetch reply);
-           vouch with a payload-free Copy. *)
-        fan_out t others (t.wrap (Copy { id; origin = k.origin; dest = k.dest }))
+           vouch with a payload-free Copy — buffered for merging when the
+           coalescing lane is on. *)
+        match t.coalesce with
+        | Some (max, delay) ->
+          buffer_ack t ~max ~delay others (id, k.origin, k.dest)
+        | None ->
+          fan_out t others
+            (t.wrap (Copy { id; origin = k.origin; dest = k.dest })))
       | Ack_uniform | Eager_nonuniform ->
         fan_out t others
           (t.wrap (Data { id; origin = k.origin; dest = k.dest; payload })));
@@ -188,23 +256,29 @@ let rmcast t ~id ~dest payload =
       (t.wrap (Data { id; origin; dest; payload }))
   end
 
+let note_copy t ~from ~id ~origin ~dest =
+  let k = find_known t ~id ~origin ~dest in
+  if not k.reclaimed then begin
+    Hashtbl.replace k.copies from ();
+    if k.payload = None && not k.fetched then begin
+      (* The payload is still on its way (or its carrier crashed): pull
+         it from the voucher, who necessarily holds it. *)
+      k.fetched <- true;
+      t.services.send ~dst:from (t.wrap (Fetch { id }))
+    end;
+    maybe_deliver t id k;
+    maybe_reclaim t k
+  end
+
 let handle t ~src:from m =
   match m with
   | Data { id; origin; dest; payload } ->
     ignore (learn t ~id ~origin ~dest ~payload ~from)
-  | Copy { id; origin; dest } ->
-    let k = find_known t ~id ~origin ~dest in
-    if not k.reclaimed then begin
-      Hashtbl.replace k.copies from ();
-      if k.payload = None && not k.fetched then begin
-        (* The payload is still on its way (or its carrier crashed): pull
-           it from the voucher, who necessarily holds it. *)
-        k.fetched <- true;
-        t.services.send ~dst:from (t.wrap (Fetch { id }))
-      end;
-      maybe_deliver t id k;
-      maybe_reclaim t k
-    end
+  | Copy { id; origin; dest } -> note_copy t ~from ~id ~origin ~dest
+  | Copies { acks } ->
+    List.iter
+      (fun (id, origin, dest) -> note_copy t ~from ~id ~origin ~dest)
+      acks
   | Fetch { id } -> (
     match Msg_id.Tbl.find_opt t.known id with
     | Some ({ payload = Some p; _ } as k) when not k.reclaimed ->
@@ -220,9 +294,13 @@ let delivered t id =
 let retained_entries t = Msg_id.Tbl.length t.known - t.reclaimed_count
 let reclaimed_entries t = t.reclaimed_count
 
+(* Acks saved by coalescing: acks carried in Copies fan-outs, minus the
+   fan-outs they collapsed into. Zero when the lane is off. *)
+let acks_coalesced t = t.acks_merged - t.copies_sent
+
 let create ~services ~wrap ?(mode = Eager_nonuniform)
-    ?(oracle_delay = Des.Sim_time.of_ms 50) ?(fast_lanes = true) ~on_deliver
-    () =
+    ?(oracle_delay = Des.Sim_time.of_ms 50) ?(fast_lanes = true) ?coalesce
+    ~on_deliver () =
   let t =
     {
       services;
@@ -231,6 +309,11 @@ let create ~services ~wrap ?(mode = Eager_nonuniform)
       fast = fast_lanes;
       known = Msg_id.Tbl.create 64;
       reclaimed_count = 0;
+      coalesce = (if fast_lanes then coalesce else None);
+      ack_buf = [];
+      ack_timer = None;
+      acks_merged = 0;
+      copies_sent = 0;
       on_deliver;
     }
   in

@@ -59,6 +59,7 @@ val create :
   ?mode:mode ->
   ?oracle_delay:Des.Sim_time.t ->
   ?fast_lanes:bool ->
+  ?coalesce:int * Des.Sim_time.t ->
   on_deliver:
     (id:Runtime.Msg_id.t ->
     origin:Net.Topology.pid ->
@@ -71,7 +72,13 @@ val create :
     to {!Eager_nonuniform}; [oracle_delay] (default 50ms) is the detection
     delay of the crash-relay rule; [fast_lanes] (default [true]) enables
     the Copy/Fetch ack relaying and state reclamation described above.
-    [on_deliver] fires exactly once per R-Delivered message. *)
+    [coalesce] (default off; requires [fast_lanes]) is the throughput
+    lane's [(max, delay)] ack-coalescing policy: {!Ack_uniform} [Copy]
+    acks destined to the same recipient set are buffered and merged into
+    one [Copies] fan-out, flushed when [max] acks accumulate or [delay]
+    after the first. Delaying an ack is indistinguishable from network
+    latency, so uniform-delivery safety is unaffected. [on_deliver] fires
+    exactly once per R-Delivered message. *)
 
 val rmcast :
   ('p, 'w) t ->
@@ -92,3 +99,7 @@ val retained_entries : ('p, 'w) t -> int
 
 val reclaimed_entries : ('p, 'w) t -> int
 (** Entries reduced to at-most-once tombstones by the fast-lane GC. *)
+
+val acks_coalesced : ('p, 'w) t -> int
+(** Ack messages saved by coalescing: acks carried inside merged [Copies]
+    fan-outs minus the fan-outs themselves. Zero when the lane is off. *)
