@@ -1,15 +1,27 @@
 (* campaign_bench — machine-readable campaign throughput baselines.
 
-   Runs a fixed, seeded scenario matrix (the same scenario list
-   Harness.Campaign expands a seed to) through the sequential driver and
-   through the Pool-based parallel driver, checks the summaries are
-   bit-identical, and writes BENCH_campaign.json with events/sec and
-   scenarios/sec per driver so the perf trajectory is tracked across PRs.
+   Two cell families:
 
-   Usage: campaign_bench [--runs N] [--seed S] [--domains D] [--out PATH]
-   Defaults: 128 runs per protocol, seed 7, D = recommended domain count,
-   ./BENCH_campaign.json. Exits non-zero if any summary disagrees between
-   drivers or any scenario produced a violation. *)
+   - Campaign cells: a fixed, seeded scenario matrix (the same scenario
+     list Harness.Campaign expands a seed to) through the sequential
+     driver and through the sharded driver at every domain count in a
+     {1, 2, 4, ...} sweep up to the machine's recommended count (always
+     at least {1, 2}, so the cross-domain identity assertion runs even
+     on a single-core host). Exits non-zero if any sharded summary
+     differs from the sequential one at any swept domain count.
+
+   - Scale cells (--scale full|smoke|off, default smoke): one large
+     deployment — hundred-group topology, n=1000 processes at full
+     scale — driven to quiescence with the trace recorder off, tracking
+     events/sec, minor words allocated per delivery (the zero-alloc
+     hot-path regression metric) and peak heap words, plus the wall time
+     of the full checker pass over the run. Exits non-zero on a checker
+     violation or a blown minor-words budget.
+
+   Usage: campaign_bench [--runs N] [--seed S] [--scale full|smoke|off]
+                         [--out PATH]
+   Defaults: 128 runs per protocol, seed 7, --scale smoke,
+   ./BENCH_campaign.json. *)
 
 type target = {
   name : string;
@@ -58,24 +70,23 @@ let measure ~driver ~domains ~runs ~seed =
   let summaries =
     List.map
       (fun t ->
-        let ss =
-          Harness.Campaign.scenarios ~broadcast_only:t.broadcast_only
-            ~with_crashes:t.with_crashes ~seed ~runs ()
+        let summary =
+          match driver with
+          | `Sequential ->
+            Harness.Campaign.run t.proto ~broadcast_only:t.broadcast_only
+              ~with_crashes:t.with_crashes ~expect_genuine:t.expect_genuine
+              ~seed ~runs ()
+          | `Sharded ->
+            Harness.Campaign.run_sharded t.proto
+              ~broadcast_only:t.broadcast_only ~with_crashes:t.with_crashes
+              ~expect_genuine:t.expect_genuine ~domains ~seed ~runs ()
         in
-        let outcomes =
-          if driver = "sequential" then
-            Harness.Campaign.run_scenarios t.proto
-              ~expect_genuine:t.expect_genuine ss
-          else
-            Harness.Campaign.run_scenarios_parallel t.proto
-              ~expect_genuine:t.expect_genuine ~domains ss
-        in
-        (t.name, Harness.Campaign.summarize outcomes))
+        (t.name, summary))
       matrix
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   {
-    driver;
+    driver = (match driver with `Sequential -> "sequential" | `Sharded -> "sharded");
     domains;
     wall_s;
     scenarios_run = List.length matrix * runs;
@@ -85,6 +96,18 @@ let measure ~driver ~domains ~runs ~seed =
         0 summaries;
     summaries;
   }
+
+(* {1, 2, 4, ...} up to the recommended domain count, but never less than
+   {1, 2}: the whole point of the sweep is to check sharded summaries
+   against sequential ones with real domain interleaving, and a
+   single-core host would otherwise silently degrade the sweep to the
+   sequential case (which is exactly the bug this replaces — the old
+   bench ran "parallel" at whatever the generating host recommended,
+   i.e. 1). *)
+let sweep_domains () =
+  let hi = max 2 (Harness.Pool.recommended_domains ()) in
+  let rec go d acc = if d >= hi then List.rev (hi :: acc) else go (2 * d) (d :: acc) in
+  go 1 []
 
 let json_of_measurement ~baseline_wall m =
   Printf.sprintf
@@ -103,52 +126,214 @@ let json_of_measurement ~baseline_wall m =
     (float_of_int m.events /. m.wall_s)
     (baseline_wall /. m.wall_s)
 
+(* ------------------------------------------------------------------ *)
+(* Scale cells. *)
+
+type scale_cell = {
+  sname : string;
+  groups : int;
+  per_group : int;
+  casts : int;
+  max_dest : int; (* dest-set size drawn uniformly in [1, max_dest] *)
+}
+
+let scale_full =
+  { sname = "scale_100x10_100k"; groups = 100; per_group = 10;
+    casts = 100_000; max_dest = 3 }
+
+let scale_smoke =
+  { sname = "scale_20x5_5k"; groups = 20; per_group = 5; casts = 5_000;
+    max_dest = 3 }
+
+(* Steady-state allocation ceiling, in minor-heap words per delivery
+   event, for A1 under the throughput config on the scale topologies.
+   This covers everything a delivery costs end to end — wire envelopes,
+   consensus instances, R-MCast bookkeeping, harness delivery records —
+   so it is nowhere near zero; what the slab refactor guarantees is that
+   it stays *flat* as topologies grow (no per-delivery Hashtbl churn
+   proportional to group count). Measured ~1720 w/delivery on the 20x5
+   cell and ~2170 on the 100x10 cell (the modest growth is deeper
+   consensus pipelining, not table churn); the ceiling leaves ~2x
+   headroom over the worst cell. *)
+let minor_words_budget = 4_000.0
+
+type scale_result = {
+  cell : scale_cell;
+  n_processes : int;
+  deliveries : int;
+  s_events : int;
+  s_wall : float;
+  minor_words_per_delivery : float;
+  top_heap_words : int;
+  check_s : float;
+  s_violations : string list;
+  s_drained : bool;
+}
+
+let run_scale cell =
+  let module R = Harness.Runner.Make (Amcast.A1) in
+  let topo =
+    Net.Topology.symmetric ~groups:cell.groups ~per_group:cell.per_group
+  in
+  let rng = Des.Rng.create 42 in
+  let workload =
+    Harness.Workload.generate ~rng ~topology:topo ~n:cell.casts
+      ~dest:(Harness.Workload.Random_groups cell.max_dest)
+      ~arrival:(`Poisson (Des.Sim_time.of_ms 5))
+      ()
+  in
+  (* No trace at scale: the trace would dwarf the simulation's own
+     memory (every send/receive event), and the only checkers that need
+     it (genuineness, causal order) are covered at campaign scale. *)
+  let dep =
+    R.deploy ~seed:42 ~latency:Net.Latency.wan_default ~record_trace:false
+      ~config:Amcast.Protocol.Config.throughput topo
+  in
+  ignore (R.schedule dep workload);
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let r = R.run_deployment ~max_steps:500_000_000 dep in
+  let s_wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let deliveries = List.length r.Harness.Run_result.deliveries in
+  let t1 = Unix.gettimeofday () in
+  let s_violations = Harness.Checker.check_all ~check_quiescence:true r in
+  let check_s = Unix.gettimeofday () -. t1 in
+  {
+    cell;
+    n_processes = Net.Topology.n_processes topo;
+    deliveries;
+    s_events = r.Harness.Run_result.events_executed;
+    s_wall;
+    minor_words_per_delivery =
+      (g1.Gc.minor_words -. g0.Gc.minor_words)
+      /. float_of_int (max 1 deliveries);
+    top_heap_words = g1.Gc.top_heap_words;
+    check_s;
+    s_violations;
+    s_drained = r.Harness.Run_result.drained;
+  }
+
+let json_of_scale s =
+  Printf.sprintf
+    {|    {
+      "name": "%s",
+      "protocol": "a1",
+      "config": "throughput",
+      "groups": %d,
+      "per_group": %d,
+      "n_processes": %d,
+      "casts": %d,
+      "deliveries": %d,
+      "events": %d,
+      "wall_s": %.6f,
+      "events_per_s": %.0f,
+      "minor_words_per_delivery": %.1f,
+      "minor_words_budget": %.1f,
+      "top_heap_words": %d,
+      "check_s": %.6f,
+      "drained": %b,
+      "violations": %d
+    }|}
+    s.cell.sname s.cell.groups s.cell.per_group s.n_processes s.cell.casts
+    s.deliveries s.s_events s.s_wall
+    (float_of_int s.s_events /. s.s_wall)
+    s.minor_words_per_delivery minor_words_budget s.top_heap_words s.check_s
+    s.s_drained
+    (List.length s.s_violations)
+
 let () =
   let runs = ref 128 in
   let seed = ref 7 in
-  let domains = ref (Harness.Pool.recommended_domains ()) in
+  let scale = ref `Smoke in
   let out = ref "BENCH_campaign.json" in
   let rec parse = function
     | "--runs" :: v :: rest -> runs := int_of_string v; parse rest
     | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
-    | "--domains" :: v :: rest -> domains := int_of_string v; parse rest
+    | "--scale" :: v :: rest ->
+      (scale :=
+         match v with
+         | "full" -> `Full
+         | "smoke" -> `Smoke
+         | "off" -> `Off
+         | _ ->
+           Printf.eprintf "campaign_bench: bad --scale %s\n" v;
+           exit 2);
+      parse rest
     | "--out" :: v :: rest -> out := v; parse rest
     | [] -> ()
     | a :: _ ->
       Printf.eprintf
         "campaign_bench: unknown argument %s\n\
-         usage: campaign_bench [--runs N] [--seed S] [--domains D] [--out \
-         PATH]\n"
+         usage: campaign_bench [--runs N] [--seed S] [--scale \
+         full|smoke|off] [--out PATH]\n"
         a;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let runs = !runs and seed = !seed and domains = max 1 !domains in
-  Printf.printf "campaign_bench: %d protocols x %d scenarios, seed %d\n%!"
-    (List.length matrix) runs seed;
-  let seq = measure ~driver:"sequential" ~domains:1 ~runs ~seed in
+  let runs = !runs and seed = !seed in
+  let sweep = sweep_domains () in
+  Printf.printf
+    "campaign_bench: %d protocols x %d scenarios, seed %d, domains {%s}\n%!"
+    (List.length matrix) runs seed
+    (String.concat "," (List.map string_of_int sweep));
+  let seq = measure ~driver:`Sequential ~domains:1 ~runs ~seed in
   Printf.printf "  sequential      : %7.3fs  %8d events\n%!" seq.wall_s
     seq.events;
-  let par = measure ~driver:"parallel" ~domains ~runs ~seed in
-  Printf.printf "  parallel (%2dd)  : %7.3fs  %8d events  %.2fx\n%!" domains
-    par.wall_s par.events
-    (seq.wall_s /. par.wall_s);
-  let identical = seq.summaries = par.summaries in
+  let sharded =
+    List.map
+      (fun d ->
+        let m = measure ~driver:`Sharded ~domains:d ~runs ~seed in
+        Printf.printf "  sharded (%2dd)   : %7.3fs  %8d events  %.2fx%s\n%!"
+          d m.wall_s m.events
+          (seq.wall_s /. m.wall_s)
+          (if m.summaries = seq.summaries then "" else "  <-- DIVERGES");
+        m)
+      sweep
+  in
+  let identical =
+    List.for_all (fun m -> m.summaries = seq.summaries) sharded
+  in
   let violations =
     List.fold_left
       (fun acc (_, s) -> acc + s.Harness.Campaign.total_violations)
       0 seq.summaries
   in
-  let buf = Buffer.create 1024 in
+  let scale_cells =
+    match !scale with
+    | `Off -> []
+    | `Smoke -> [ scale_smoke ]
+    | `Full -> [ scale_smoke; scale_full ]
+  in
+  let scale_results =
+    List.map
+      (fun c ->
+        Printf.printf "  scale %-18s: running (%d procs, %d casts)...\n%!"
+          c.sname
+          (c.groups * c.per_group)
+          c.casts;
+        let s = run_scale c in
+        Printf.printf
+          "  scale %-18s: %7.3fs  %9d events  %.0f ev/s  %.0f w/delivery\n%!"
+          c.sname s.s_wall s.s_events
+          (float_of_int s.s_events /. s.s_wall)
+          s.minor_words_per_delivery;
+        s)
+      scale_cells
+  in
+  let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"amcast-bench-campaign/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"amcast-bench-campaign/v2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"generated_unix_time\": %.0f,\n"
        (Unix.gettimeofday ()));
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"host\": { \"recommended_domains\": %d },\n"
-       (Harness.Pool.recommended_domains ()));
+       "  \"host\": { \"recommended_domains\": %d, \"swept_domains\": [%s] \
+        },\n"
+       (Harness.Pool.recommended_domains ())
+       (String.concat ", " (List.map string_of_int sweep)));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"matrix\": { \"seed\": %d, \"runs_per_protocol\": %d, \
@@ -161,7 +346,11 @@ let () =
     (String.concat ",\n"
        (List.map
           (json_of_measurement ~baseline_wall:seq.wall_s)
-          [ seq; par ]));
+          (seq :: sharded)));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"scale\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map json_of_scale scale_results));
   Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"summaries_identical\": %b,\n" identical);
@@ -174,10 +363,32 @@ let () =
   Printf.printf "  wrote %s\n%!" !out;
   if not identical then begin
     prerr_endline
-      "campaign_bench: FAIL — parallel summary differs from sequential";
+      "campaign_bench: FAIL — a sharded summary differs from sequential";
     exit 1
   end;
   if violations > 0 then begin
     Printf.eprintf "campaign_bench: FAIL — %d violations\n" violations;
     exit 1
-  end
+  end;
+  List.iter
+    (fun s ->
+      if s.s_violations <> [] then begin
+        Printf.eprintf "campaign_bench: FAIL — scale cell %s: %s\n"
+          s.cell.sname
+          (String.concat "; " s.s_violations);
+        exit 1
+      end;
+      if not s.s_drained then begin
+        Printf.eprintf
+          "campaign_bench: FAIL — scale cell %s did not drain\n"
+          s.cell.sname;
+        exit 1
+      end;
+      if s.minor_words_per_delivery > minor_words_budget then begin
+        Printf.eprintf
+          "campaign_bench: FAIL — scale cell %s allocates %.1f minor \
+           words/delivery (budget %.1f)\n"
+          s.cell.sname s.minor_words_per_delivery minor_words_budget;
+        exit 1
+      end)
+    scale_results

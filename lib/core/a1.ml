@@ -49,8 +49,9 @@ type pending = {
       (* highest consensus instance this message was proposed to while in
          its current proposable stage; the pipelining window skips entries
          with [inflight >= k] (already riding an undecided instance) *)
-  proposals : (Topology.gid, int) Hashtbl.t;
-      (* timestamp proposals received in (TS, m) messages, per group *)
+  proposals : int Slab.Row.t;
+      (* timestamp proposals received in (TS, m) messages, indexed by gid;
+         pooled — released back to [prop_pool] at adelivery *)
 }
 
 type t = {
@@ -64,7 +65,8 @@ type t = {
   ord : pending Pending_index.t; (* pending, ordered by (ts, id) *)
   proposable : pending Msg_id.Tbl.t; (* the s0/s2 subset of [pending] *)
   adelivered : unit Msg_id.Tbl.t;
-  decisions : (int, entry list) Hashtbl.t; (* decided, not yet processed *)
+  decisions : entry list Slab.Window.t; (* decided, not yet processed *)
+  prop_pool : int Slab.Row.pool; (* proposal rows, width = n_groups *)
   mutable rm : (Msg.t list, wire) Rmcast.Reliable_multicast.t option;
   mutable cons : (entry list, wire) Consensus.Paxos.t option;
   mutable hb : wire Fd.Heartbeat.t option;
@@ -106,7 +108,7 @@ let get_or_create_pending t (m : Msg.t) =
         stage = Stage.S0;
         handle = -1;
         inflight = -1;
-        proposals = Hashtbl.create 4;
+        proposals = Slab.Row.acquire t.prop_pool;
       }
     in
     p.handle <- Pending_index.add t.ord ~ts:p.ts ~id:m.id p;
@@ -122,6 +124,7 @@ let adelivery_test t =
     match Pending_index.min_elt t.ord with
     | Some (_, _, p) when p.stage = Stage.S3 ->
       ignore (Pending_index.pop_min t.ord);
+      Slab.Row.release t.prop_pool p.proposals;
       Msg_id.Tbl.remove t.pending p.msg.id;
       Msg_id.Tbl.replace t.adelivered p.msg.id ();
       t.deliver p.msg;
@@ -179,10 +182,10 @@ let check_s1 t id =
   match Msg_id.Tbl.find_opt t.pending id with
   | Some p when p.stage = Stage.S1 ->
     let others = other_dest_groups t p.msg in
-    if List.for_all (fun g -> Hashtbl.mem p.proposals g) others then begin
+    if List.for_all (fun g -> Slab.Row.mem p.proposals g) others then begin
       let max_other =
         List.fold_left
-          (fun acc g -> max acc (Hashtbl.find p.proposals g))
+          (fun acc g -> max acc (Slab.Row.get p.proposals ~default:min_int g))
           min_int others
       in
       if t.config.skip_max_group && p.ts >= max_other then begin
@@ -198,10 +201,9 @@ let check_s1 t id =
 
 (* Line 18-32: interpret the decision of instance K. *)
 let rec process_decisions t =
-  match Hashtbl.find_opt t.decisions t.k with
+  match Slab.Window.take t.decisions t.k with
   | None -> ()
   | Some entries ->
-    Hashtbl.remove t.decisions t.k;
     let k = t.k in
     t.cons_executed <- t.cons_executed + 1;
     let max_ts = ref 0 in
@@ -282,7 +284,7 @@ let rec process_decisions t =
        overtakes (pipelining): every member jumps identically, so these
        decisions are consumed by nobody — drop them before they leak. *)
     for i = k + 1 to t.k - 1 do
-      Hashtbl.remove t.decisions i
+      Slab.Window.drop t.decisions i
     done;
     (* The group clock can jump past unproposed instance numbers (every
        member follows the same K sequence, so the gaps are never filled);
@@ -329,8 +331,8 @@ let handle_ts t ~from_group ~ts (msg : Msg.t) =
     note_message t msg;
     (match Msg_id.Tbl.find_opt t.pending msg.id with
     | Some p ->
-      if not (Hashtbl.mem p.proposals from_group) then
-        Hashtbl.replace p.proposals from_group ts
+      if not (Slab.Row.mem p.proposals from_group) then
+        Slab.Row.set p.proposals from_group ts
     | None -> ());
     check_s1 t msg.id
   end
@@ -360,7 +362,11 @@ let create ~services ~config ~deliver =
       ord = Pending_index.create ();
       proposable = Msg_id.Tbl.create 64;
       adelivered = Msg_id.Tbl.create 64;
-      decisions = Hashtbl.create 16;
+      decisions = Slab.Window.create ();
+      prop_pool =
+        Slab.Row.pool
+          ~width:(Topology.n_groups services.Services.topology)
+          ~default:0;
       rm = None;
       cons = None;
       hb = None;
@@ -429,7 +435,7 @@ let create ~services ~config ~deliver =
            (* A decide for an instance the group clock already jumped past
               is for an abandoned instance — consumed by nobody. *)
            if instance >= t.k then begin
-             Hashtbl.replace t.decisions instance v;
+             Slab.Window.set t.decisions instance v;
              process_decisions t
            end)
          ());

@@ -21,7 +21,10 @@ let tag = function
 type round_state = {
   mutable own : Msg.t list option; (* our group's decided bundle *)
   mutable own_sent : bool;
-  foreign : (Topology.gid, Msg.t list) Hashtbl.t; (* first copy wins *)
+  foreign : Msg.t list Slab.Row.t;
+      (* first copy wins, indexed by gid; the presence flag distinguishes
+         a received empty bundle from no bundle. Pooled — released when
+         the round closes. *)
 }
 
 type t = {
@@ -34,6 +37,8 @@ type t = {
   mutable grace_timer : int option;
   my_group : Topology.gid;
   other_groups : Topology.gid list;
+  n_other : int; (* |other_groups|: round completeness is a count check *)
+  foreign_pool : Msg.t list Slab.Row.pool; (* bundle rows, width n_groups *)
   outside_pids : Topology.pid list;
   mutable k : int; (* current round *)
   mutable prop_k : int;
@@ -67,7 +72,13 @@ let round_state t r =
   match Hashtbl.find_opt t.rounds r with
   | Some s -> s
   | None ->
-    let s = { own = None; own_sent = false; foreign = Hashtbl.create 4 } in
+    let s =
+      {
+        own = None;
+        own_sent = false;
+        foreign = Slab.Row.acquire t.foreign_pool;
+      }
+    in
     Hashtbl.replace t.rounds r s;
     s
 
@@ -136,7 +147,7 @@ let try_propose t =
       (* Catching up — another group's bundle for this round has already
          arrived (cf. Theorem 5.2's run, where g2 decides instance r as
          soon as it receives g1's bundle): nothing to gain by waiting. *)
-      || Hashtbl.length (round_state t t.k).foreign > 0
+      || Slab.Row.count (round_state t t.k).foreign > 0
     then propose_now t
     else if t.k <= t.barrier && t.grace_timer = None then
       t.grace_timer <-
@@ -165,13 +176,15 @@ let rec maybe_finish_round t =
         t.services t.outside_pids
         (Bundle { round = t.k; msgs = own_bundle })
     end;
-    let complete =
-      List.for_all (fun g -> Hashtbl.mem s.foreign g) t.other_groups
-    in
+    (* Only other groups' bundles land in [foreign] (bundles fan out to
+       [outside_pids]), so a full count means one from each. *)
+    let complete = Slab.Row.count s.foreign = t.n_other in
     if complete then begin
       let bundles =
         own_bundle
-        :: List.map (fun g -> Hashtbl.find s.foreign g) t.other_groups
+        :: List.map
+             (fun g -> Slab.Row.get s.foreign ~default:[] g)
+             t.other_groups
       in
       let to_deliver =
         List.concat bundles
@@ -191,6 +204,7 @@ let rec maybe_finish_round t =
           Msg_id.Tbl.remove t.inflight m.id;
           t.deliver m)
         to_deliver;
+      Slab.Row.release t.foreign_pool s.foreign;
       Hashtbl.remove t.rounds t.k;
       t.k <- t.k + 1;
       t.rounds_executed <- t.rounds_executed + 1;
@@ -257,7 +271,7 @@ let on_receive t ~src w =
     let g = Topology.group_of t.services.Services.topology src in
     if round >= t.k then begin
       let s = round_state t round in
-      if not (Hashtbl.mem s.foreign g) then Hashtbl.replace s.foreign g msgs
+      if not (Slab.Row.mem s.foreign g) then Slab.Row.set s.foreign g msgs
     end;
     t.barrier <- max t.barrier round;
     try_propose t;
@@ -285,6 +299,9 @@ let create ~services ~config ~deliver =
       grace_timer = None;
       my_group;
       other_groups;
+      n_other = List.length other_groups;
+      foreign_pool =
+        Slab.Row.pool ~width:(Topology.n_groups topology) ~default:[];
       outside_pids = Topology.pids_of_groups topology other_groups;
       k = 1;
       prop_k = 1;

@@ -100,7 +100,14 @@ let try_propose t =
       List.filter
         (fun id ->
           match Msg_id.Tbl.find_opt t.pending id with
-          | Some p -> not p.stamped
+          (* [final <> None] means every group of the chain — ours included,
+             via an instance decided at another member — has stamped the
+             message: its timestamp is fixed and it needs nothing more from
+             this group. Keeping it here would re-propose it forever when a
+             Final overtakes our own Decide while delivery is blocked
+             behind a slower message (a livelock: each re-proposal burns a
+             full consensus instance without ever stamping the blocker). *)
+          | Some p -> (not p.stamped) && p.final = None
           | None -> false)
         !(t.queue)
     in

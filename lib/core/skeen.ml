@@ -12,7 +12,13 @@ let tag = function Data _ -> "skeen.data" | Stamp _ -> "skeen.stamp"
 type pending = {
   msg : Msg.t;
   own_ts : int;
-  stamps : (Topology.pid, int) Hashtbl.t;
+  stamps : int Slab.Row.t;
+      (* per-stamper timestamps indexed by pid; pooled, released at
+         delivery. Only addressees ever stamp (Data fans out to the
+         destination pids and each stamps once), so a count equal to
+         [n_addr] means every stamp is in — no addressee-list scan. *)
+  n_addr : int; (* |dest_pids msg|, fixed at first sight *)
+  mutable stamp_max : int; (* running max of received stamps *)
   mutable final : int option;
   mutable handle : Pending_index.handle;
       (* slot in [ord]; keyed by own_ts until finalised, then by final *)
@@ -31,7 +37,14 @@ type t = {
   early_stamps : (Topology.pid * int) list Msg_id.Tbl.t;
       (* stamps that outran their Data message (triangle inequality does
          not hold under jitter or asymmetric latency matrices) *)
+  stamp_pool : int Slab.Row.pool; (* stamp rows, width = n_processes *)
 }
+
+let add_stamp (p : pending) q ts =
+  if not (Slab.Row.mem p.stamps q) then begin
+    Slab.Row.set p.stamps q ts;
+    if ts > p.stamp_max then p.stamp_max <- ts
+  end
 
 (* Deliver every finalised message whose (final, id) is minimal: no other
    finalised message precedes it, and no unfinalised message could still
@@ -46,6 +59,7 @@ let delivery_test t =
     match Pending_index.min_elt t.ord with
     | Some (_, _, p) when p.final <> None ->
       ignore (Pending_index.pop_min t.ord);
+      Slab.Row.release t.stamp_pool p.stamps;
       Msg_id.Tbl.remove t.pending p.msg.id;
       Msg_id.Tbl.replace t.delivered p.msg.id ();
       t.deliver p.msg;
@@ -56,9 +70,8 @@ let delivery_test t =
 
 let maybe_finalize t p =
   if p.final = None then begin
-    let addressees = Msg.dest_pids t.services.Services.topology p.msg in
-    if List.for_all (fun q -> Hashtbl.mem p.stamps q) addressees then begin
-      let f = Hashtbl.fold (fun _ ts acc -> max acc ts) p.stamps 0 in
+    if Slab.Row.count p.stamps = p.n_addr then begin
+      let f = p.stamp_max in
       p.final <- Some f;
       p.handle <- Pending_index.reposition t.ord p.handle ~ts:f ~id:p.msg.id p;
       t.clock <- max t.clock f;
@@ -72,24 +85,26 @@ let on_data t (m : Msg.t) =
     && not (Msg_id.Tbl.mem t.delivered m.id)
   then begin
     t.clock <- t.clock + 1;
+    let addressees = Msg.dest_pids t.services.Services.topology m in
     let p =
       {
         msg = m;
         own_ts = t.clock;
-        stamps = Hashtbl.create 8;
+        stamps = Slab.Row.acquire t.stamp_pool;
+        n_addr = List.length addressees;
+        stamp_max = 0;
         final = None;
         handle = -1;
       }
     in
     p.handle <- Pending_index.add t.ord ~ts:p.own_ts ~id:m.id p;
-    Hashtbl.replace p.stamps t.services.Services.self t.clock;
+    add_stamp p t.services.Services.self t.clock;
     (match Msg_id.Tbl.find_opt t.early_stamps m.id with
     | Some stamps ->
-      List.iter (fun (q, ts) -> Hashtbl.replace p.stamps q ts) stamps;
+      List.iter (fun (q, ts) -> add_stamp p q ts) stamps;
       Msg_id.Tbl.remove t.early_stamps m.id
     | None -> ());
     Msg_id.Tbl.replace t.pending m.id p;
-    let addressees = Msg.dest_pids t.services.Services.topology m in
     List.iter
       (fun q ->
         if q <> t.services.Services.self then
@@ -116,7 +131,7 @@ let on_receive t ~src w =
     t.clock <- max t.clock ts;
     (match Msg_id.Tbl.find_opt t.pending id with
     | Some p ->
-      if not (Hashtbl.mem p.stamps src) then Hashtbl.replace p.stamps src ts;
+      add_stamp p src ts;
       maybe_finalize t p
     | None ->
       if not (Msg_id.Tbl.mem t.delivered id) then begin
@@ -137,6 +152,10 @@ let create ~services ~config:_ ~deliver =
     ord = Pending_index.create ();
     delivered = Msg_id.Tbl.create 32;
     early_stamps = Msg_id.Tbl.create 8;
+    stamp_pool =
+      Slab.Row.pool
+        ~width:(Topology.n_processes services.Services.topology)
+        ~default:0;
   }
 
 let pending_count t = Msg_id.Tbl.length t.pending

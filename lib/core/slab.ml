@@ -1,0 +1,148 @@
+(* Flat, reusable protocol-state containers for the steady-state delivery
+   hot path. The per-pending [Hashtbl]s the protocols started with allocate
+   buckets on every insert and churn the minor heap at hundred-group scale;
+   these replace them with the flag-byte + slab idiom the DES already uses
+   (Des.Event_queue, Network's in-flight slab): presence is one byte, values
+   live in preallocated arrays, and released rows go back to a free list so
+   the steady state allocates nothing. *)
+
+module Row = struct
+  type 'a t = {
+    vals : 'a array; (* [width] slots, meaningful only where present *)
+    present : Bytes.t; (* '\001' = slot holds a value *)
+    mutable touched : int array; (* first [count] entries: set slot indices *)
+    mutable count : int;
+  }
+
+  type 'a pool = {
+    width : int;
+    default : 'a;
+    mutable free : 'a t array;
+    mutable free_top : int;
+  }
+
+  let pool ~width ~default =
+    if width <= 0 then invalid_arg "Slab.Row.pool: width must be > 0";
+    { width; default; free = [||]; free_top = 0 }
+
+  let width p = p.width
+
+  let acquire p =
+    if p.free_top > 0 then begin
+      p.free_top <- p.free_top - 1;
+      p.free.(p.free_top)
+    end
+    else
+      {
+        vals = Array.make p.width p.default;
+        present = Bytes.make p.width '\000';
+        touched = Array.make 8 0;
+        count = 0;
+      }
+
+  (* Clearing walks only the touched slots, so release is O(values set),
+     not O(width) — a row that collected 3 proposals out of 100 groups
+     costs 3 writes to scrub. *)
+  let release p r =
+    for i = 0 to r.count - 1 do
+      let slot = r.touched.(i) in
+      Bytes.unsafe_set r.present slot '\000';
+      r.vals.(slot) <- p.default
+    done;
+    r.count <- 0;
+    if p.free_top >= Array.length p.free then begin
+      let cap = Array.length p.free in
+      let nf = Array.make (if cap = 0 then 8 else 2 * cap) r in
+      Array.blit p.free 0 nf 0 cap;
+      p.free <- nf
+    end;
+    p.free.(p.free_top) <- r;
+    p.free_top <- p.free_top + 1
+
+  let mem r i = Bytes.unsafe_get r.present i = '\001'
+
+  let set r i v =
+    if not (mem r i) then begin
+      Bytes.unsafe_set r.present i '\001';
+      if r.count >= Array.length r.touched then begin
+        let nt = Array.make (2 * Array.length r.touched) 0 in
+        Array.blit r.touched 0 nt 0 r.count;
+        r.touched <- nt
+      end;
+      r.touched.(r.count) <- i;
+      r.count <- r.count + 1
+    end;
+    r.vals.(i) <- v
+
+  let get r ~default i = if mem r i then r.vals.(i) else default
+  let find r i = if mem r i then Some r.vals.(i) else None
+  let count r = r.count
+end
+
+module Window = struct
+  (* Decided-but-unconsumed values keyed by a monotonically advancing
+     instance number. The live keys span at most the protocol's pipeline
+     window (decisions apply in instance order; overtaken instances are
+     dropped by the same clock jump at every member, mirroring the
+     consensus layer's [decided_upto] GC), so a small power-of-two ring
+     indexed by [instance land (capacity - 1)] replaces the per-instance
+     Hashtbl churn. The ring only grows if a configuration ever exceeds
+     its capacity with live entries — then it doubles and re-seats. *)
+  type 'a t = {
+    mutable keys : int array; (* -1 = slot empty *)
+    mutable vals : 'a option array;
+    mutable live : int;
+  }
+
+  let create () =
+    { keys = Array.make 8 (-1); vals = Array.make 8 None; live = 0 }
+
+  let rec grow t =
+    let cap = Array.length t.keys in
+    let nkeys = Array.make (2 * cap) (-1) in
+    let nvals = Array.make (2 * cap) None in
+    let old_keys = t.keys and old_vals = t.vals in
+    t.keys <- nkeys;
+    t.vals <- nvals;
+    t.live <- 0;
+    Array.iteri
+      (fun i k -> if k >= 0 then set t k (Option.get old_vals.(i)))
+      old_keys
+
+  and set t k v =
+    if k < 0 then invalid_arg "Slab.Window.set: negative key";
+    let slot = k land (Array.length t.keys - 1) in
+    if t.keys.(slot) >= 0 && t.keys.(slot) <> k then begin
+      grow t;
+      set t k v
+    end
+    else begin
+      if t.keys.(slot) < 0 then t.live <- t.live + 1;
+      t.keys.(slot) <- k;
+      t.vals.(slot) <- Some v
+    end
+
+  let take t k =
+    if k < 0 then None
+    else begin
+      let slot = k land (Array.length t.keys - 1) in
+      if t.keys.(slot) = k then begin
+        let v = t.vals.(slot) in
+        t.keys.(slot) <- -1;
+        t.vals.(slot) <- None;
+        t.live <- t.live - 1;
+        v
+      end
+      else None
+    end
+
+  let drop t k = ignore (take t k)
+
+  let mem t k =
+    k >= 0 && t.keys.(k land (Array.length t.keys - 1)) = k
+
+  let find t k =
+    if mem t k then t.vals.(k land (Array.length t.keys - 1)) else None
+
+  let live t = t.live
+end

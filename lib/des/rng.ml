@@ -17,6 +17,14 @@ let split t =
   let seed = int64 t in
   { state = seed }
 
+let substream seed i =
+  if i < 0 then invalid_arg "Rng.substream: index must be >= 0";
+  (* Mix the seed before combining with the stream index so neighbouring
+     (seed, i) pairs land far apart in the state space; the golden-gamma
+     multiple is the same stream spacing SplitMix64 itself uses. *)
+  { state = mix64 (Int64.add (mix64 (Int64.of_int seed))
+                     (Int64.mul golden_gamma (Int64.of_int (i + 1)))) }
+
 let copy t = { state = t.state }
 
 let int t bound =

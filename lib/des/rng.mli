@@ -21,6 +21,14 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 
+val substream : int -> int -> t
+(** [substream seed i] is the [i]-th independent stream of the generator
+    family rooted at [seed], a pure function of [(seed, i)]. Unlike
+    {!split} it needs no sequential walk over streams [0..i-1], so sharded
+    drivers can hand stream [i] to whichever domain processes item [i] and
+    stay bit-identical to a sequential driver.
+    @raise Invalid_argument if [i < 0]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -45,21 +45,21 @@ let random_scenario rng ?(broadcast_only = false) ?(with_crashes = true)
     nemesis = with_nemesis;
   }
 
-(* Scenarios in generation order: only this loop draws from the campaign
-   rng (each run re-seeds from its scenario), so generating everything up
-   front gives the exact scenario list the sequential and the parallel
-   drivers share. *)
+(* Scenario [i] of campaign [seed] draws from its own RNG substream, a
+   pure function of [(seed, i)]: any driver — sequential, Pool.map over a
+   pre-built list, or a sharded worker that generates scenario [i] inside
+   whichever domain claims index [i] — expands the same campaign to the
+   same scenarios without coordinating over a shared walking rng. Each
+   run then re-seeds everything from its scenario, so outcomes are
+   independent of who generated the scenario where. *)
+let scenario_at ?broadcast_only ?with_crashes ?with_nemesis ~seed i =
+  random_scenario
+    (Rng.substream seed i)
+    ?broadcast_only ?with_crashes ?with_nemesis ()
+
 let scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs () =
-  let rng = Rng.create seed in
-  let rec gen acc n =
-    if n = 0 then List.rev acc
-    else
-      gen
-        (random_scenario rng ?broadcast_only ?with_crashes ?with_nemesis ()
-        :: acc)
-        (n - 1)
-  in
-  gen [] runs
+  List.init runs
+    (scenario_at ?broadcast_only ?with_crashes ?with_nemesis ~seed)
 
 let faults_for s topo =
   if not s.with_crashes then []
@@ -200,6 +200,18 @@ let run_parallel proto ?config ?expect_genuine ?check_causal
   |> run_scenarios_parallel proto ?config ?expect_genuine ?check_causal
        ?check_quiescence ?domains
   |> summarize
+
+(* Fully sharded driver: nothing is materialised up front — the domain
+   that claims index [i] derives scenario [i] from its substream and runs
+   it, so the coordinating domain does O(1) work per run instead of
+   generating [runs] scenarios serially. Outcome [i] still lands at index
+   [i], so the summary is bit-identical to [run] at every domain count. *)
+let run_sharded proto ?config ?expect_genuine ?check_causal ?check_quiescence
+    ?broadcast_only ?with_crashes ?with_nemesis ?domains ~seed ~runs () =
+  Pool.tabulate ?domains runs (fun i ->
+      run_one proto ?config ?expect_genuine ?check_causal ?check_quiescence
+        (scenario_at ?broadcast_only ?with_crashes ?with_nemesis ~seed i))
+  |> Array.to_list |> summarize
 
 let pp_scenario ppf s =
   Fmt.pf ppf

@@ -66,6 +66,18 @@ val random_scenario :
   unit ->
   scenario
 
+val scenario_at :
+  ?broadcast_only:bool ->
+  ?with_crashes:bool ->
+  ?with_nemesis:bool ->
+  seed:int ->
+  int ->
+  scenario
+(** [scenario_at ~seed i] is scenario [i] of campaign [seed] — a pure
+    function of [(seed, i)] via {!Des.Rng.substream}, so a sharded worker
+    can derive its scenarios locally and still agree with every other
+    driver on what campaign [seed] contains. *)
+
 val scenarios :
   ?broadcast_only:bool ->
   ?with_crashes:bool ->
@@ -75,7 +87,8 @@ val scenarios :
   unit ->
   scenario list
 (** The deterministic scenario list campaign [seed] expands to — the one
-    both {!run} and {!run_parallel} execute. *)
+    {!run}, {!run_parallel} and {!run_sharded} all execute:
+    [List.init runs (scenario_at ~seed)]. *)
 
 val run_one :
   (module Amcast.Protocol.S) ->
@@ -142,5 +155,26 @@ val run_parallel :
     scenarios out across [domains] domains (default
     {!Pool.recommended_domains}) and produces a summary bit-identical to
     [run proto ... ~seed ~runs ()]. *)
+
+val run_sharded :
+  (module Amcast.Protocol.S) ->
+  ?config:Amcast.Protocol.Config.t ->
+  ?expect_genuine:bool ->
+  ?check_causal:bool ->
+  ?check_quiescence:bool ->
+  ?broadcast_only:bool ->
+  ?with_crashes:bool ->
+  ?with_nemesis:bool ->
+  ?domains:int ->
+  seed:int ->
+  runs:int ->
+  unit ->
+  summary
+(** Like {!run_parallel}, but nothing is materialised up front: the
+    domain that claims run [i] derives scenario [i] locally from its
+    {!Des.Rng.substream} ({!scenario_at}) and runs it, so the campaign
+    scales to run counts where serially pre-generating the scenario list
+    would itself be a bottleneck. The summary is bit-identical to {!run}
+    and {!run_parallel} at every domain count. *)
 
 val pp_summary : Format.formatter -> summary -> unit

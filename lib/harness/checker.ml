@@ -198,42 +198,62 @@ module Reference = struct
     !violations
 end
 
-(* Indexed prefix-order check, O(groups^2 * deliveries) instead of
-   O(pids^2 * deliveries): for each unordered group pair, project every
-   member's delivery sequence once, sort the projections by length and
-   prefix-compare consecutive pairs only. Sound and complete for
-   *detection*:
+(* Indexed prefix-order check, O(deliveries * dest-size) instead of
+   O(groups^2 * deliveries): one pass over the delivery sequences buckets
+   each delivery into the group pairs whose projection contains it. A
+   delivery of [m] at a process of group [g_p] appears in pid's (ga, gb)
+   projection exactly when {ga, gb} = {g_p, gx} for some gx in dest(m)
+   and g_p is itself in dest(m) (the projection keeps messages addressed
+   to both groups, and pid is a member of one of them) — so instead of
+   scanning every pair, each delivery fans out to |dest(m)| buckets and
+   pairs never touched by any delivery are vacuously prefix-ordered
+   (every projection in them is empty). Within a bucket, sort the per-pid
+   projections by length and prefix-compare consecutive pairs only.
+   Sound and complete for *detection*:
 
    - all consecutive pairs prefix-related => all pairs prefix-related
      (length-sorted prefixes chain by transitivity), which covers every
      cross-group pid pair the naive checker tests;
    - a same-group pair failing on the (ga, gb) projection implies the
      same pair fails on the coarser (ga, ga) projection too (projection
-     preserves the prefix relation), which the naive checker also flags.
+     preserves the prefix relation), which the naive checker also flags;
+   - a pid absent from a bucket has an empty projection there, and the
+     empty sequence is a prefix of every other, so dropping it loses
+     nothing.
 
    On detection we fall back to the reference checker so callers see the
    exact same violation strings the naive implementation produces. *)
 let uniform_prefix_order (r : Run_result.t) =
   let idx = Run_result.index r in
-  let groups = Topology.all_groups r.topology in
-  let project ga gb pid =
-    let seq = idx.Run_result.seqs.(pid) in
-    let keep (m : Amcast.Msg.t) =
-      Amcast.Msg.addressed_to_group m ga && Amcast.Msg.addressed_to_group m gb
-    in
-    let n = ref 0 in
-    Array.iter (fun m -> if keep m then incr n) seq;
-    let out = Array.make !n (Runtime.Msg_id.make ~origin:0 ~seq:0) in
-    let w = ref 0 in
-    Array.iter
-      (fun (m : Amcast.Msg.t) ->
-        if keep m then begin
-          out.(!w) <- m.Amcast.Msg.id;
-          incr w
-        end)
-      seq;
-    out
+  let ng = Topology.n_groups r.topology in
+  (* (min gid * ng + max gid) -> pid -> that pid's projection, reversed *)
+  let pairs : (int, (int, Msg_id.t list ref) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
   in
+  Array.iteri
+    (fun pid seq ->
+      let gp = Topology.group_of r.topology pid in
+      Array.iter
+        (fun (m : Amcast.Msg.t) ->
+          if Amcast.Msg.addressed_to_group m gp then
+            List.iter
+              (fun gx ->
+                let key = (min gp gx * ng) + max gp gx in
+                let per_pid =
+                  match Hashtbl.find_opt pairs key with
+                  | Some h -> h
+                  | None ->
+                    let h = Hashtbl.create 8 in
+                    Hashtbl.replace pairs key h;
+                    h
+                in
+                match Hashtbl.find_opt per_pid pid with
+                | Some l -> l := m.Amcast.Msg.id :: !l
+                | None ->
+                  Hashtbl.replace per_pid pid (ref [ m.Amcast.Msg.id ]))
+              m.Amcast.Msg.dest)
+        seq)
+    idx.Run_result.seqs;
   let is_prefix (a : Msg_id.t array) (b : Msg_id.t array) =
     (* caller guarantees |a| <= |b| *)
     let ok = ref true in
@@ -241,30 +261,27 @@ let uniform_prefix_order (r : Run_result.t) =
     !ok
   in
   let violated = ref false in
-  List.iter
-    (fun ga ->
-      List.iter
-        (fun gb ->
-          if (not !violated) && ga <= gb then begin
-            let members =
-              Topology.members r.topology ga
-              @ (if ga = gb then [] else Topology.members r.topology gb)
-            in
-            let projs = List.map (project ga gb) members in
-            let sorted =
-              List.sort
-                (fun a b -> Int.compare (Array.length a) (Array.length b))
-                projs
-            in
-            let rec chain = function
-              | a :: (b :: _ as rest) ->
-                if is_prefix a b then chain rest else violated := true
-              | [ _ ] | [] -> ()
-            in
-            chain sorted
-          end)
-        groups)
-    groups;
+  Hashtbl.iter
+    (fun _ per_pid ->
+      if not !violated then begin
+        let projs =
+          Hashtbl.fold
+            (fun _ l acc -> Array.of_list (List.rev !l) :: acc)
+            per_pid []
+        in
+        let sorted =
+          List.sort
+            (fun a b -> Int.compare (Array.length a) (Array.length b))
+            projs
+        in
+        let rec chain = function
+          | a :: (b :: _ as rest) ->
+            if is_prefix a b then chain rest else violated := true
+          | [ _ ] | [] -> ()
+        in
+        chain sorted
+      end)
+    pairs;
   if !violated then Reference.uniform_prefix_order r else []
 
 (* Indexed genuineness: the allowed set as a per-pid bool array, so each

@@ -6,18 +6,17 @@ let recommended_domains () = Domain.recommended_domain_count ()
    that an unlucky worker cannot end up holding a long tail. Results land
    at their input index, so the output order is the input order no matter
    how the chunks interleave — determinism costs nothing here. *)
-let map ?domains f items =
-  let n = Array.length items in
+let generic ~who ?domains n f =
   let domains =
     match domains with
     | Some d ->
-      if d < 1 then invalid_arg "Pool.map: domains must be >= 1";
+      if d < 1 then invalid_arg (who ^ ": domains must be >= 1");
       d
     | None -> recommended_domains ()
   in
   let domains = min domains (max 1 n) in
   if n = 0 then [||]
-  else if domains = 1 then Array.map f items
+  else if domains = 1 then Array.init n f
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -31,7 +30,7 @@ let map ?domains f items =
           if start >= n then continue := false
           else
             for i = start to min n (start + chunk) - 1 do
-              results.(i) <- Some (f items.(i))
+              results.(i) <- Some (f i)
             done
         done
       with e ->
@@ -51,3 +50,9 @@ let map ?domains f items =
           | None -> assert false (* every index was claimed exactly once *))
         results
   end
+
+let tabulate ?domains n f = generic ~who:"Pool.tabulate" ?domains n f
+
+let map ?domains f items =
+  generic ~who:"Pool.map" ?domains (Array.length items) (fun i ->
+      f items.(i))

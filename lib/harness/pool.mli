@@ -10,6 +10,18 @@ val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the sensible upper bound for
     [?domains] on this machine. *)
 
+val tabulate : ?domains:int -> int -> (int -> 'b) -> 'b array
+(** [tabulate ~domains n f] is [Array.init n f], computed on [domains]
+    domains with the same chunked self-scheduling and index-placement
+    guarantees as {!map}. Because workers receive only an index, the
+    *input* of each task can be generated inside the claiming domain —
+    this is what lets sharded campaigns derive scenario [i] from a pure
+    per-index RNG substream instead of materialising every input up
+    front on the coordinating domain. [f] must be safe to call from any
+    domain and must not share mutable state across indices.
+
+    @raise Invalid_argument when [domains < 1]. *)
+
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f items] is [Array.map f items], computed on [domains]
     domains (default {!recommended_domains}; clamped to the item count;

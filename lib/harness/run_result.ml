@@ -17,8 +17,11 @@ type delivery_event = {
 type index = {
   correct_arr : bool array; (* pid -> not crashed *)
   seqs : Amcast.Msg.t array array; (* pid -> delivery sequence, oldest first *)
-  pos : int array Runtime.Msg_id.Tbl.t;
-      (* id -> per-pid position of the first delivery, -1 = never *)
+  pos : int Runtime.Msg_id.Tbl.t array;
+      (* pid -> (id -> position of pid's first delivery of id). Keyed
+         per-pid rather than per-id so the index costs O(deliveries),
+         not O(distinct ids * n) — the latter is ~1 GB at the scale
+         cells (100k casts * 1000 processes). *)
   casts_by_id : cast_event Runtime.Msg_id.Tbl.t; (* first cast wins *)
 }
 
@@ -79,22 +82,18 @@ let build_index t =
              ~dest:[ 0 ] ""))
   in
   let fill = Array.make n 0 in
-  let pos = Runtime.Msg_id.Tbl.create 64 in
+  let pos =
+    Array.init n (fun pid ->
+        Runtime.Msg_id.Tbl.create (max 16 counts.(pid)))
+  in
   List.iter
     (fun (d : delivery_event) ->
       let id = d.msg.Amcast.Msg.id in
       let i = fill.(d.pid) in
       seqs.(d.pid).(i) <- d.msg;
       fill.(d.pid) <- i + 1;
-      let row =
-        match Runtime.Msg_id.Tbl.find_opt pos id with
-        | Some row -> row
-        | None ->
-          let row = Array.make n (-1) in
-          Runtime.Msg_id.Tbl.replace pos id row;
-          row
-      in
-      if row.(d.pid) < 0 then row.(d.pid) <- i)
+      if not (Runtime.Msg_id.Tbl.mem pos.(d.pid) id) then
+        Runtime.Msg_id.Tbl.replace pos.(d.pid) id i)
     t.deliveries;
   { correct_arr; seqs; pos; casts_by_id }
 
@@ -118,10 +117,7 @@ let deliveries_of t id =
       Runtime.Msg_id.equal d.msg.Amcast.Msg.id id)
     t.deliveries
 
-let delivered_by t id pid =
-  match Runtime.Msg_id.Tbl.find_opt (index t).pos id with
-  | None -> false
-  | Some row -> row.(pid) >= 0
+let delivered_by t id pid = Runtime.Msg_id.Tbl.mem (index t).pos.(pid) id
 
 let delivered_everywhere_needed t id =
   let idx = index t in

@@ -23,8 +23,10 @@ type index = {
   correct_arr : bool array;  (** pid -> not crashed. *)
   seqs : Amcast.Msg.t array array;
       (** pid -> its delivery sequence, oldest first. *)
-  pos : int array Runtime.Msg_id.Tbl.t;
-      (** id -> per-pid position of the first delivery, [-1] = never. *)
+  pos : int Runtime.Msg_id.Tbl.t array;
+      (** pid -> (id -> position of that process's first delivery of the
+          message). Keyed per-pid so the index is O(deliveries) in memory
+          rather than O(distinct ids * n_processes). *)
   casts_by_id : cast_event Runtime.Msg_id.Tbl.t;
       (** First cast event per id. *)
 }

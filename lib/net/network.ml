@@ -40,8 +40,14 @@ type 'w t = {
   mutable slots : 'w slot option array;
   mutable free : int array;
   mutable free_top : int;
-  holds : (Topology.gid * Topology.gid, Sim_time.t) Hashtbl.t;
-  scales : (Topology.gid * Topology.gid, float) Hashtbl.t;
+  n_groups : int;
+  holds : Sim_time.t array;
+      (* dense (src_group, dst_group) -> release floor, [Sim_time.zero] =
+         link unheld. [hold_floor] sits on the admission hot path, so the
+         lookup must stay an array read even at hundred-group scale —
+         g*g entries is small (10k words at 100 groups) next to the
+         per-process state. *)
+  scales : float array; (* dense link latency scales, 1.0 = base model *)
   mutable send_filter : (src:Topology.pid -> dst:Topology.pid -> bool) option;
   mutable taps : (src:Topology.pid -> dst:Topology.pid -> 'w -> unit) list;
   mutable explode_fanout : bool;
@@ -60,6 +66,7 @@ type 'w t = {
 }
 
 let create ~sched ~topology ~latency ~rng ~deliver =
+  let g = Topology.n_groups topology in
   {
     sched;
     topology;
@@ -69,8 +76,9 @@ let create ~sched ~topology ~latency ~rng ~deliver =
     slots = [||];
     free = [||];
     free_top = 0;
-    holds = Hashtbl.create 8;
-    scales = Hashtbl.create 8;
+    n_groups = g;
+    holds = Array.make (g * g) Sim_time.zero;
+    scales = Array.make (g * g) 1.0;
     send_filter = None;
     taps = [];
     explode_fanout = false;
@@ -81,10 +89,8 @@ let create ~sched ~topology ~latency ~rng ~deliver =
     sent_intra = 0;
   }
 
-let hold_floor t ~src_group ~dst_group =
-  match Hashtbl.find_opt t.holds (src_group, dst_group) with
-  | None -> Sim_time.zero
-  | Some u -> u
+let link t ~src_group ~dst_group = (src_group * t.n_groups) + dst_group
+let hold_floor t ~src_group ~dst_group = t.holds.(link t ~src_group ~dst_group)
 
 let acquire_slot t =
   if t.free_top = 0 then begin
@@ -146,9 +152,9 @@ let schedule_delivery t ~src ~dst ~arrival payload =
    for messages released from a partition. *)
 let sample_delay t ~src_group ~dst_group =
   let delay = Latency.sample t.latency t.rng ~src_group ~dst_group in
-  match Hashtbl.find_opt t.scales (src_group, dst_group) with
-  | None -> delay
-  | Some s ->
+  let s = t.scales.(link t ~src_group ~dst_group) in
+  if s = 1.0 then delay
+  else
     Sim_time.of_us
       (max 0 (int_of_float (s *. float_of_int (Sim_time.to_us delay))))
 
@@ -258,8 +264,8 @@ let inflight_on_link t ~src_group ~dst_group =
   List.sort (fun (_, a) (_, b) -> Int.compare a.handle b.handle) !acc
 
 let hold t ~src_group ~dst_group ~until =
-  let prev = hold_floor t ~src_group ~dst_group in
-  Hashtbl.replace t.holds (src_group, dst_group) (Sim_time.max prev until);
+  let l = link t ~src_group ~dst_group in
+  t.holds.(l) <- Sim_time.max t.holds.(l) until;
   (* Push back messages already in flight on that link. *)
   List.iter
     (fun (i, m) ->
@@ -272,8 +278,9 @@ let partition t ~src_group ~dst_group =
   hold t ~src_group ~dst_group ~until:Sim_time.infinity
 
 let heal t ~src_group ~dst_group =
-  if Hashtbl.mem t.holds (src_group, dst_group) then begin
-    Hashtbl.remove t.holds (src_group, dst_group);
+  let l = link t ~src_group ~dst_group in
+  if not (Sim_time.equal t.holds.(l) Sim_time.zero) then begin
+    t.holds.(l) <- Sim_time.zero;
     (* Re-schedule everything that was parked on this link with a fresh
        latency sample from the healing instant. *)
     List.iter
@@ -297,10 +304,17 @@ let partition_groups t side_a side_b =
     side_a
 
 let heal_all t =
-  let links = Hashtbl.fold (fun link _ acc -> link :: acc) t.holds [] in
-  List.iter
-    (fun (src_group, dst_group) -> heal t ~src_group ~dst_group)
-    (List.sort compare links)
+  (* Rare control event: a g*g scan beats maintaining a held-link set. *)
+  for src_group = 0 to t.n_groups - 1 do
+    for dst_group = 0 to t.n_groups - 1 do
+      if
+        not
+          (Sim_time.equal
+             t.holds.(link t ~src_group ~dst_group)
+             Sim_time.zero)
+      then heal t ~src_group ~dst_group
+    done
+  done
 
 let drop_inflight t pred =
   explode t;
@@ -321,8 +335,7 @@ let drop_inflight t pred =
 
 let latency_scale t ~src_group ~dst_group scale =
   if scale <= 0. then invalid_arg "Network.latency_scale: scale must be > 0";
-  if scale = 1.0 then Hashtbl.remove t.scales (src_group, dst_group)
-  else Hashtbl.replace t.scales (src_group, dst_group) scale
+  t.scales.(link t ~src_group ~dst_group) <- scale
 
 let set_send_filter t f = t.send_filter <- f
 let set_explode_fanout t b = t.explode_fanout <- b

@@ -37,6 +37,8 @@ let n_processes t = Array.length t.group_of
 let n_groups t = Array.length t.members
 let group_of t p = t.group_of.(p)
 let members t g = Array.to_list t.members.(g)
+let members_array t g = t.members.(g)
+let iter_members t g f = Array.iter f t.members.(g)
 let group_size t g = Array.length t.members.(g)
 let all_pids t = List.init (n_processes t) Fun.id
 let all_groups t = List.init (n_groups t) Fun.id

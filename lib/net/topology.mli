@@ -31,6 +31,14 @@ val group_of : t -> pid -> gid
 val members : t -> gid -> pid list
 (** Processes of a group, in increasing pid order. *)
 
+val members_array : t -> gid -> pid array
+(** The group's members as the topology's own backing array (no copy):
+    allocation-free access for hot paths and scale-sized topologies. The
+    caller must not mutate it. *)
+
+val iter_members : t -> gid -> (pid -> unit) -> unit
+(** Allocation-free iteration over a group's members, in pid order. *)
+
 val group_size : t -> gid -> int
 
 val all_pids : t -> pid list
