@@ -15,6 +15,7 @@ type proto =
   | P_a1
   | P_a2
   | P_skeen
+  | P_generic
   | P_ring
   | P_scalable
   | P_sequencer
@@ -28,6 +29,7 @@ let proto_assoc =
     ("a1", P_a1);
     ("a2", P_a2);
     ("skeen", P_skeen);
+    ("generic", P_generic);
     ("ring", P_ring);
     ("scalable", P_scalable);
     ("sequencer", P_sequencer);
@@ -41,6 +43,7 @@ let module_of = function
   | P_a1 -> (module Amcast.A1 : Amcast.Protocol.S)
   | P_a2 -> (module Amcast.A2)
   | P_skeen -> (module Amcast.Skeen)
+  | P_generic -> (module Amcast.Generic)
   | P_ring -> (module Amcast.Ring)
   | P_scalable -> (module Amcast.Scalable)
   | P_sequencer -> (module Amcast.Sequencer)
@@ -52,8 +55,8 @@ let module_of = function
 (* Broadcast-only protocols must receive dest = all groups. *)
 let broadcast_only = function
   | P_a2 | P_sequencer | P_optimistic -> true
-  | P_a1 | P_skeen | P_ring | P_scalable | P_via_broadcast | P_detmerge
-  | P_fritzke ->
+  | P_a1 | P_skeen | P_generic | P_ring | P_scalable | P_via_broadcast
+  | P_detmerge | P_fritzke ->
     false
 
 (* Protocols that never quiesce need a horizon. *)
@@ -61,13 +64,23 @@ let needs_horizon = function P_detmerge -> true | _ -> false
 
 let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
     inter_ms intra_ms horizon_ms print_trace print_timeline genuine_check
-    heartbeat_fd fast_lanes batch batch_delay_ms pipeline =
+    heartbeat_fd fast_lanes batch batch_delay_ms pipeline conflict
+    conflict_rate =
   let topo = Topology.symmetric ~groups ~per_group in
   let latency =
     Latency.uniform
       ~intra:(Sim_time.of_ms intra_ms)
       ~inter:(Sim_time.of_ms inter_ms)
       ()
+  in
+  if conflict_rate < 0.0 || conflict_rate > 1.0 then (
+    Fmt.epr "amcast_sim: --conflict-rate must be in [0, 1]@.";
+    exit 2);
+  let conflict_rel =
+    match conflict with
+    | `Total -> Amcast.Conflict.total
+    | `Key -> Amcast.Conflict.payload_key
+    | `None -> Amcast.Conflict.never
   in
   let rng = Rng.create seed in
   let dest_kind =
@@ -79,6 +92,10 @@ let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
       ~arrival:
         (if poisson then `Poisson (Sim_time.of_ms gap_ms)
          else `Every (Sim_time.of_ms gap_ms))
+      ?conflict:
+        (match conflict with
+        | `Key -> Some (Harness.Workload.conflict_spec conflict_rate)
+        | `Total | `None -> None)
       ()
   in
   let faults =
@@ -121,6 +138,7 @@ let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
       batch_max = batch;
       batch_delay = Sim_time.of_ms batch_delay_ms;
       pipeline;
+      conflict = conflict_rel;
     }
   in
   let until =
@@ -153,7 +171,10 @@ let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
       (Harness.Trace_render.pp ?max_rows:None ~topology:topo)
       r.trace;
   let violations =
-    Harness.Checker.check_all ~expect_genuine:genuine_check r
+    Harness.Checker.check_all ~expect_genuine:genuine_check
+      ?conflict:
+        (match conflict with `Total -> None | `Key | `None -> Some conflict_rel)
+      r
   in
   if violations = [] then begin
     Fmt.pr "@.all correctness checks passed.@.";
@@ -176,7 +197,8 @@ let proto_t =
     & info [ "p"; "protocol" ] ~docv:"PROTO"
         ~doc:
           "Protocol to run: $(b,a1) (genuine atomic multicast), $(b,a2) \
-           (atomic broadcast), or a baseline ($(b,skeen), $(b,ring), \
+           (atomic broadcast), $(b,generic) (conflict-aware multicast, see \
+           $(b,--conflict)), or a baseline ($(b,skeen), $(b,ring), \
            $(b,scalable), $(b,sequencer), $(b,optimistic), \
            $(b,via-broadcast), $(b,detmerge), $(b,fritzke)).")
 
@@ -302,6 +324,28 @@ let genuine_t =
     & info [ "check-genuine" ]
         ~doc:"Additionally check genuineness (for multicast protocols).")
 
+let conflict_t =
+  Arg.(
+    value
+    & opt (enum [ ("total", `Total); ("key", `Key); ("none", `None) ]) `Total
+    & info [ "conflict" ] ~docv:"total|key|none"
+        ~doc:
+          "Conflict relation for the $(b,generic) protocol (ignored by \
+           total-order protocols, but it also selects the ordering check): \
+           $(b,total) = every pair conflicts (classic total order), \
+           $(b,key) = per-key conflicts over the workload's \
+           $(b,k=<key>;...) payloads, with the keyed/commuting mix drawn \
+           from $(b,--conflict-rate), $(b,none) = nothing conflicts \
+           (ordering-free reliable multicast).")
+
+let conflict_rate_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "conflict-rate" ] ~docv:"R"
+        ~doc:
+          "With $(b,--conflict key): probability in [0, 1] that a cast is \
+           a keyed (conflicting) command rather than a commuting one.")
+
 let cmd =
   let doc = "simulate atomic broadcast/multicast protocols on a WAN" in
   let info = Cmd.info "amcast_sim" ~doc in
@@ -310,6 +354,6 @@ let cmd =
       const run_cli $ proto_t $ groups_t $ per_group_t $ messages_t $ seed_t
       $ gap_t $ poisson_t $ kmax_t $ crash_t $ inter_t $ intra_t $ horizon_t
       $ trace_t $ timeline_t $ genuine_t $ heartbeat_t $ fast_lanes_t
-      $ batch_t $ batch_delay_t $ pipeline_t)
+      $ batch_t $ batch_delay_t $ pipeline_t $ conflict_t $ conflict_rate_t)
 
 let () = exit (Cmd.eval' cmd)

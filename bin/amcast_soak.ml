@@ -11,6 +11,7 @@
 
    Usage: amcast_soak [--fast-lanes on|off] [--nemesis on|off]
                       [--batch N] [--batch-delay MS] [--pipeline W]
+                      [--conflict total|key|none] [--conflict-rate R]
                       [RUNS] [SEED] [DOMAINS]
    DOMAINS defaults to 1 (sequential); pass 0 for the recommended domain
    count of this machine. --fast-lanes defaults to "on"; "off" soaks the
@@ -21,7 +22,12 @@
    = off) soaks the throughput lane's cast batching with the given batch
    size, --batch-delay (ms, default 2) its flush timeout, and --pipeline
    (default 1 = sequential) its in-flight consensus-instance window; the
-   summaries then report the batching/pipelining counters. *)
+   summaries then report the batching/pipelining counters. --conflict
+   (default "total") selects the conflict relation of the generic
+   (conflict-aware) target — "key" draws keyed/commuting payload mixes
+   with keyed probability --conflict-rate (default 0.5) and checks the
+   relaxed conflict order, "none" makes every cast commute; the
+   total-order targets always keep the full prefix-order check. *)
 
 let () =
   let config = ref Amcast.Protocol.Config.default in
@@ -29,12 +35,21 @@ let () =
   let batch = ref 1 in
   let batch_delay_ms = ref 2 in
   let pipeline = ref 1 in
+  let conflict_mode = ref `Total in
+  let conflict_rate = ref 0.5 in
   let positional = ref [] in
   let int_arg flag value ~min =
     match int_of_string_opt value with
     | Some v when v >= min -> v
     | _ ->
       Printf.eprintf "amcast_soak: %s must be an integer >= %d\n" flag min;
+      exit 2
+  in
+  let rate_arg flag value =
+    match float_of_string_opt value with
+    | Some v when v >= 0.0 && v <= 1.0 -> v
+    | _ ->
+      Printf.eprintf "amcast_soak: %s must be a float in [0, 1]\n" flag;
       exit 2
   in
   let on_off flag value =
@@ -66,8 +81,23 @@ let () =
       | "--pipeline" when i + 1 < Array.length Sys.argv ->
         pipeline := int_arg "--pipeline" Sys.argv.(i + 1) ~min:1;
         parse (i + 2)
+      | "--conflict" when i + 1 < Array.length Sys.argv ->
+        (conflict_mode :=
+           match Sys.argv.(i + 1) with
+           | "total" -> `Total
+           | "key" -> `Key
+           | "none" -> `None
+           | _ ->
+             Printf.eprintf
+               "amcast_soak: --conflict must be \"total\", \"key\" or \
+                \"none\"\n";
+             exit 2);
+        parse (i + 2)
+      | "--conflict-rate" when i + 1 < Array.length Sys.argv ->
+        conflict_rate := rate_arg "--conflict-rate" Sys.argv.(i + 1);
+        parse (i + 2)
       | ("--fast-lanes" | "--nemesis" | "--batch" | "--batch-delay"
-        | "--pipeline") as flag ->
+        | "--pipeline" | "--conflict" | "--conflict-rate") as flag ->
         Printf.eprintf "amcast_soak: %s needs an argument\n" flag;
         exit 2
       | a ->
@@ -120,10 +150,27 @@ let () =
       ("via-broadcast", (module Amcast.Via_broadcast), false, true, false, false, true);
       ("fritzke", (module Amcast.Fritzke), false, true, true, false, true);
       ("skeen", (module Amcast.Skeen), false, false, true, false, true);
+      ("generic", (module Amcast.Generic), false, false, true, false, true);
       ("ring", (module Amcast.Ring), false, false, true, false, true);
       ("scalable", (module Amcast.Scalable), false, false, true, false, true);
       ("sequencer", (module Amcast.Sequencer), true, false, false, false, true);
     ]
+  in
+  (* The conflict relation only reaches the generic target's config — the
+     total-order targets must keep their full prefix-order check. The
+     keyed/commuting workload mix (under --conflict key) applies to every
+     target so the campaigns stay comparable: total-order protocols treat
+     the payloads as opaque. *)
+  let conflict_rel =
+    match !conflict_mode with
+    | `Total -> Amcast.Conflict.total
+    | `Key -> Amcast.Conflict.payload_key
+    | `None -> Amcast.Conflict.never
+  in
+  let workload_conflict =
+    match !conflict_mode with
+    | `Key -> Some (Harness.Workload.conflict_spec !conflict_rate)
+    | `Total | `None -> None
   in
   let failed = ref false in
   List.iter
@@ -138,10 +185,16 @@ let () =
         (if with_crashes then " (with crash injection)" else "")
         (if with_nemesis then " (with nemesis plans)" else "")
         (if domains > 1 then Fmt.str " on %d domains" domains else "");
+      let config =
+        if name = "generic" then
+          { config with Amcast.Protocol.Config.conflict = conflict_rel }
+        else config
+      in
       let summary =
-        Harness.Campaign.run_parallel proto ~config ~expect_genuine
-          ~check_causal ~check_quiescence ~broadcast_only ~with_crashes
-          ~with_nemesis ~domains ~seed ~runs ()
+        Harness.Campaign.run_parallel proto ~config
+          ?conflict:workload_conflict ~expect_genuine ~check_causal
+          ~check_quiescence ~broadcast_only ~with_crashes ~with_nemesis
+          ~domains ~seed ~runs ()
       in
       Fmt.pr "%a@." Harness.Campaign.pp_summary summary;
       if summary.failures <> [] then failed := true)

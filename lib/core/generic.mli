@@ -1,0 +1,39 @@
+(** Generic (conflict-aware) atomic multicast.
+
+    Skeen's timestamp scheme relaxed to a {e partial} delivery order
+    (generic broadcast, Pedone & Schiper; generic multicast, Bolina et
+    al. 2024): only message pairs that {e conflict} under the deployment's
+    {!Protocol.Config.t.conflict} relation are delivered in a consistent
+    relative order by their common addressees. The stamp exchange is
+    unchanged — every non-solo message is stamped by all its addressees
+    and finalised at the maximum stamp — but the delivery test only holds
+    a finalised message behind {e conflicting} pending messages, so
+    independent conflict classes drain concurrently instead of queueing
+    behind one global [(ts, id)] frontier.
+
+    Two bypass tiers, by how much the relation reveals:
+
+    - {e solo} messages ({!Conflict.solo}: they conflict with nothing)
+      skip ordering entirely — delivered at Data arrival, no stamps, no
+      clock traffic. Reliable-multicast cost, latency degree 1.
+    - messages with a conflict {e class} ({!Conflict.class_of}) wait only
+      for their own class: the pending set is partitioned into per-class
+      {!Pending_index} heaps and each class is an independent Skeen
+      instance sharing the process clock. [Conflict.total] collapses to a
+      single class — the delivery order (and every checker verdict) is
+      then exactly Skeen's.
+    - under a bare {!Conflict.Commute} predicate there is no class
+      structure; the delivery test falls back to a pairwise conflict scan
+      of the pending set (correct for any symmetric relation, quadratic
+      in the in-flight count).
+
+    Soundness of the relaxed test: if addressee [q] delivers [m2] before
+    first seeing a conflicting [m1], then [q]'s clock is at least
+    [final m2] from that point on, so [q]'s stamp for [m1] — hence
+    [final m1] — exceeds [final m2]; every common addressee therefore
+    agrees on the [(final, id)] order of any conflicting pair it holds
+    both members of. Failure-free model, like {!Skeen}. *)
+
+include Protocol.S
+
+val pending_count : t -> int

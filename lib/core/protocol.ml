@@ -34,6 +34,11 @@ module Config = struct
            instances may be undecided at once (instance i+1 is proposed
            before i decides; decisions are applied in order). 1 preserves
            the sequential instance-per-round behaviour bit-for-bit. *)
+    conflict : Conflict.t;
+        (* Conflict relation for the generic (conflict-aware) multicast:
+           which message pairs must be delivered in a consistent relative
+           order. Conflict.total (the default) recovers classic total
+           order; total-order protocols ignore this field. *)
   }
 
   let default =
@@ -52,6 +57,7 @@ module Config = struct
       batch_max = 1;
       batch_delay = Des.Sim_time.of_ms 2;
       pipeline = 1;
+      conflict = Conflict.total;
     }
 
   let reference = { default with fast_lanes = false }

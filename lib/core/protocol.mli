@@ -99,6 +99,12 @@ module Config : sig
             instances may be undecided at once (instance [i+1] is proposed
             before [i] decides; decisions apply in order). [1] (the
             default) preserves the sequential behaviour bit-for-bit. *)
+    conflict : Conflict.t;
+        (** Conflict relation for the generic (conflict-aware) multicast
+            protocol: which message pairs must be delivered in a consistent
+            relative order by common addressees. {!Conflict.total} (the
+            default) makes every pair conflict — classic total order.
+            Total-order protocols ignore this field. *)
   }
 
   val default : t

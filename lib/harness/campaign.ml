@@ -106,8 +106,9 @@ let sum_retained lists =
   Hashtbl.fold (fun label n acc -> (label, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let run_one (module P : Amcast.Protocol.S) ?config ?(expect_genuine = false)
-    ?(check_causal = false) ?(check_quiescence = false) s =
+let run_one (module P : Amcast.Protocol.S) ?config ?conflict
+    ?(expect_genuine = false) ?(check_causal = false)
+    ?(check_quiescence = false) s =
   let module R = Runner.Make (P) in
   let topo = Topology.symmetric ~groups:s.groups ~per_group:s.per_group in
   let latency = if s.jitter then Latency.wan_default else Latency.lan_only in
@@ -118,7 +119,7 @@ let run_one (module P : Amcast.Protocol.S) ?config ?(expect_genuine = false)
         (if s.broadcast_only then Workload.To_all_groups
          else Workload.Random_groups s.groups)
       ~arrival:(`Poisson (Sim_time.of_ms 25))
-      ()
+      ?conflict ()
   in
   (* Under a nemesis plan the crash schedule comes from the plan itself
      (same minority-per-group policy, so group consensus keeps a correct
@@ -140,13 +141,25 @@ let run_one (module P : Amcast.Protocol.S) ?config ?(expect_genuine = false)
     sum_retained
       (List.map (fun pid -> P.stats (R.node dep pid)) (Topology.all_pids topo))
   in
+  (* The ordering property follows the deployment's conflict relation (a
+     constructor match, not structural equality — the relation holds
+     closures): Total keeps the prefix check, anything else owes only the
+     relaxed conflict order. *)
+  let order_conflict =
+    match config with
+    | Some { Amcast.Protocol.Config.conflict = Amcast.Conflict.Total; _ }
+    | None ->
+      None
+    | Some { Amcast.Protocol.Config.conflict = c; _ } -> Some c
+  in
   {
     scenario = s;
     violations =
       Checker.check_all
         ~expect_genuine:(expect_genuine && not s.with_crashes)
         ~check_causal ~check_quiescence
-        ?liveness_from:(Option.map Nemesis.liveness_from nemesis) r;
+        ?liveness_from:(Option.map Nemesis.liveness_from nemesis)
+        ?conflict:order_conflict r;
     delivered = Metrics.delivered_count r;
     max_degree = Metrics.max_latency_degree r;
     drained = r.drained;
@@ -168,37 +181,40 @@ let summarize outcomes =
     retained_total = sum_retained (List.map (fun o -> o.retained) outcomes);
   }
 
-let run_scenarios proto ?config ?expect_genuine ?check_causal
+let run_scenarios proto ?config ?conflict ?expect_genuine ?check_causal
     ?check_quiescence ss =
   List.map
-    (run_one proto ?config ?expect_genuine ?check_causal ?check_quiescence)
+    (run_one proto ?config ?conflict ?expect_genuine ?check_causal
+       ?check_quiescence)
     ss
 
 (* Each scenario owns its seed, so runs are independent; the pool writes
    outcome [i] at index [i], so the outcome list — and therefore the
    summary — is bit-identical to the sequential driver's for any domain
    count. *)
-let run_scenarios_parallel proto ?config ?expect_genuine ?check_causal
-    ?check_quiescence ?domains ss =
+let run_scenarios_parallel proto ?config ?conflict ?expect_genuine
+    ?check_causal ?check_quiescence ?domains ss =
   Pool.map ?domains
     (fun s ->
-      run_one proto ?config ?expect_genuine ?check_causal ?check_quiescence s)
+      run_one proto ?config ?conflict ?expect_genuine ?check_causal
+        ?check_quiescence s)
     (Array.of_list ss)
   |> Array.to_list
 
-let run proto ?config ?expect_genuine ?check_causal ?check_quiescence
-    ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs () =
+let run proto ?config ?conflict ?expect_genuine ?check_causal
+    ?check_quiescence ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs
+    () =
   scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs ()
-  |> run_scenarios proto ?config ?expect_genuine ?check_causal
+  |> run_scenarios proto ?config ?conflict ?expect_genuine ?check_causal
        ?check_quiescence
   |> summarize
 
-let run_parallel proto ?config ?expect_genuine ?check_causal
+let run_parallel proto ?config ?conflict ?expect_genuine ?check_causal
     ?check_quiescence ?broadcast_only ?with_crashes ?with_nemesis ?domains
     ~seed ~runs () =
   scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs ()
-  |> run_scenarios_parallel proto ?config ?expect_genuine ?check_causal
-       ?check_quiescence ?domains
+  |> run_scenarios_parallel proto ?config ?conflict ?expect_genuine
+       ?check_causal ?check_quiescence ?domains
   |> summarize
 
 (* Fully sharded driver: nothing is materialised up front — the domain
@@ -206,10 +222,12 @@ let run_parallel proto ?config ?expect_genuine ?check_causal
    it, so the coordinating domain does O(1) work per run instead of
    generating [runs] scenarios serially. Outcome [i] still lands at index
    [i], so the summary is bit-identical to [run] at every domain count. *)
-let run_sharded proto ?config ?expect_genuine ?check_causal ?check_quiescence
-    ?broadcast_only ?with_crashes ?with_nemesis ?domains ~seed ~runs () =
+let run_sharded proto ?config ?conflict ?expect_genuine ?check_causal
+    ?check_quiescence ?broadcast_only ?with_crashes ?with_nemesis ?domains
+    ~seed ~runs () =
   Pool.tabulate ?domains runs (fun i ->
-      run_one proto ?config ?expect_genuine ?check_causal ?check_quiescence
+      run_one proto ?config ?conflict ?expect_genuine ?check_causal
+        ?check_quiescence
         (scenario_at ?broadcast_only ?with_crashes ?with_nemesis ~seed i))
   |> Array.to_list |> summarize
 

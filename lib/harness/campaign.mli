@@ -93,15 +93,24 @@ val scenarios :
 val run_one :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
+  ?conflict:Workload.conflict_spec ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
   scenario ->
   outcome
+(** [conflict] turns the generated workload's payloads into the
+    keyed/commuting mix of {!Workload.conflict_spec} (omitted = the plain
+    payloads, bit-identical to older campaigns). Independently, when
+    [config] carries a non-[Total] conflict relation the ordering check
+    becomes {!Checker.conflict_order} under that relation — what a
+    generic-multicast deployment owes — instead of the total-order prefix
+    check. *)
 
 val run_scenarios :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
+  ?conflict:Workload.conflict_spec ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -112,6 +121,7 @@ val run_scenarios :
 val run_scenarios_parallel :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
+  ?conflict:Workload.conflict_spec ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -126,6 +136,7 @@ val summarize : outcome list -> summary
 val run :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
+  ?conflict:Workload.conflict_spec ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -140,6 +151,7 @@ val run :
 val run_parallel :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
+  ?conflict:Workload.conflict_spec ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -159,6 +171,7 @@ val run_parallel :
 val run_sharded :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
+  ?conflict:Workload.conflict_spec ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->

@@ -72,6 +72,85 @@ let uniform_agreement (r : Run_result.t) =
           :: acc)
       delivered_somewhere []
 
+(* How one process's delivery sequence relates to an ordered message pair
+   (m1, m2), from the first-delivery positions of the two ids. *)
+type pair_obs = Both_fwd | Both_rev | Only_fst | Only_snd | Neither
+
+let pair_obs p1 p2 =
+  match (p1, p2) with
+  | Some a, Some b -> if (a : int) < b then Both_fwd else Both_rev
+  | Some _, None -> Only_fst
+  | None, Some _ -> Only_snd
+  | None, None -> Neither
+
+(* The conflicting-pair consistency test behind the relaxed partial-order
+   checker, shared by the reference and indexed implementations so the
+   two can only diverge in enumeration, never in semantics. For a
+   conflicting pair and two common addressees p, q, a violation is:
+
+   - disagreement: p and q delivered both messages in opposite orders;
+   - a hole: p delivered both in some order, q delivered the later one
+     without the earlier — q skipped a conflicting predecessor (if q
+     delivers it later the pair becomes a disagreement, if never an
+     agreement violation; either way q already delivered out of order);
+   - crossed: p delivered only m1 and q only m2 — whichever way the pair
+     is ordered, one of them has already skipped a conflicting
+     predecessor, even though neither completion exists yet.
+
+   Pairs where one process is simply behind (same order so far, or one
+   delivery missing on the trailing side) are fine: safety holds at every
+   prefix, so the end state testifies for all earlier instants exactly as
+   in the total-order prefix check. *)
+let conflict_pair_violation (m1 : Amcast.Msg.t) (m2 : Amcast.Msg.t) p op q oq =
+  let id1 = m1.Amcast.Msg.id and id2 = m2.Amcast.Msg.id in
+  let disagree a first second b =
+    Some
+      (Fmt.str
+         "conflict order: p%d delivered %a before %a but p%d delivered %a \
+          before %a"
+         a Msg_id.pp first Msg_id.pp second b Msg_id.pp second Msg_id.pp
+         first)
+  in
+  let hole a first second b =
+    Some
+      (Fmt.str
+         "conflict order: p%d delivered %a before %a but p%d delivered %a \
+          without %a"
+         a Msg_id.pp first Msg_id.pp second b Msg_id.pp second Msg_id.pp
+         first)
+  in
+  let crossed a ida b idb =
+    Some
+      (Fmt.str
+         "conflict order: p%d delivered only %a and p%d delivered only %a \
+          of a conflicting pair"
+         a Msg_id.pp ida b Msg_id.pp idb)
+  in
+  match (op, oq) with
+  | Both_fwd, Both_rev -> disagree p id1 id2 q
+  | Both_rev, Both_fwd -> disagree p id2 id1 q
+  | Both_fwd, Only_snd -> hole p id1 id2 q
+  | Only_snd, Both_fwd -> hole q id1 id2 p
+  | Both_rev, Only_fst -> hole p id2 id1 q
+  | Only_fst, Both_rev -> hole q id2 id1 p
+  | Only_fst, Only_snd -> crossed p id1 q id2
+  | Only_snd, Only_fst -> crossed p id2 q id1
+  | _ -> None
+
+(* Distinct cast messages in cast order (ids are unique per cast in
+   practice; dedup defensively). *)
+let cast_msgs (r : Run_result.t) =
+  let seen = Msg_id.Tbl.create 32 in
+  List.filter_map
+    (fun (c : Run_result.cast_event) ->
+      let id = c.msg.Amcast.Msg.id in
+      if Msg_id.Tbl.mem seen id then None
+      else begin
+        Msg_id.Tbl.replace seen id ();
+        Some c.msg
+      end)
+    r.casts
+
 (* Naive reference implementations, retained verbatim as differential
    oracles for the indexed fast paths below (and as the fallback that
    reproduces the exact violation strings once a fast path detects a
@@ -121,6 +200,60 @@ module Reference = struct
           seqs)
       seqs;
     !violations
+
+  (* Relaxed partial-order check, naively: every conflicting cast pair ×
+     every common-addressee pid pair, with positions found by scanning the
+     delivery sequences. *)
+  let conflict_order ~conflict (r : Run_result.t) =
+    let msgs = cast_msgs r in
+    let position_of seq id =
+      let rec find i = function
+        | [] -> None
+        | (m : Amcast.Msg.t) :: rest ->
+          if Msg_id.equal m.id id then Some i else find (i + 1) rest
+      in
+      find 0 seq
+    in
+    let violations = ref [] in
+    let rec pairs = function
+      | [] -> ()
+      | m1 :: rest ->
+        List.iter
+          (fun m2 ->
+            if Amcast.Conflict.conflicts conflict m1 m2 then begin
+              let common =
+                List.filter
+                  (fun p -> Amcast.Msg.addressed_to_pid r.topology m2 p)
+                  (Amcast.Msg.dest_pids r.topology m1)
+              in
+              let obs =
+                List.map
+                  (fun p ->
+                    let seq = Run_result.sequence_of r p in
+                    ( p,
+                      pair_obs
+                        (position_of seq m1.Amcast.Msg.id)
+                        (position_of seq m2.Amcast.Msg.id) ))
+                  common
+              in
+              let rec pid_pairs = function
+                | [] -> ()
+                | (p, op) :: later ->
+                  List.iter
+                    (fun (q, oq) ->
+                      match conflict_pair_violation m1 m2 p op q oq with
+                      | Some v -> violations := v :: !violations
+                      | None -> ())
+                    later;
+                  pid_pairs later
+              in
+              pid_pairs obs
+            end)
+          rest;
+        pairs rest
+    in
+    pairs msgs;
+    List.rev !violations
 
   let genuineness (r : Run_result.t) =
     let allowed =
@@ -284,6 +417,95 @@ let uniform_prefix_order (r : Run_result.t) =
     pairs;
   if !violated then Reference.uniform_prefix_order r else []
 
+(* Indexed conflict-order check: first-delivery positions come from the
+   per-pid position tables (O(1) per lookup instead of a sequence scan),
+   and message pairs are enumerated per conflict class when the relation
+   is a partition — only same-class pairs can conflict, so the quadratic
+   enumeration shrinks to the class sizes; solo messages drop out
+   entirely. Bare Commute relations keep the pairwise enumeration.
+   Detection-only: on the first violation we fall back to the reference
+   checker so callers see its exact violation strings. *)
+let conflict_order ~conflict (r : Run_result.t) =
+  let idx = Run_result.index r in
+  let msgs = cast_msgs r in
+  let pids_memo = Msg_id.Tbl.create 32 in
+  let pids_of (m : Amcast.Msg.t) =
+    match Msg_id.Tbl.find_opt pids_memo m.id with
+    | Some ps -> ps
+    | None ->
+      let ps = Amcast.Msg.dest_pids r.topology m in
+      Msg_id.Tbl.replace pids_memo m.id ps;
+      ps
+  in
+  let violated = ref false in
+  let check_pair (m1 : Amcast.Msg.t) (m2 : Amcast.Msg.t) =
+    if not !violated then begin
+      let common =
+        List.filter
+          (fun p -> Amcast.Msg.addressed_to_pid r.topology m2 p)
+          (pids_of m1)
+      in
+      let obs =
+        List.map
+          (fun p ->
+            let pos = idx.Run_result.pos.(p) in
+            ( p,
+              pair_obs
+                (Msg_id.Tbl.find_opt pos m1.id)
+                (Msg_id.Tbl.find_opt pos m2.id) ))
+          common
+      in
+      let rec pid_pairs = function
+        | [] -> ()
+        | (p, op) :: later ->
+          List.iter
+            (fun (q, oq) ->
+              if conflict_pair_violation m1 m2 p op q oq <> None then
+                violated := true)
+            later;
+          if not !violated then pid_pairs later
+      in
+      pid_pairs obs
+    end
+  in
+  (match conflict with
+  | Amcast.Conflict.Commute _ ->
+    let rec pairs = function
+      | [] -> ()
+      | m1 :: rest ->
+        List.iter
+          (fun m2 ->
+            if Amcast.Conflict.conflicts conflict m1 m2 then check_pair m1 m2)
+          rest;
+        pairs rest
+    in
+    pairs msgs
+  | Amcast.Conflict.Total | Amcast.Conflict.Keyed _ ->
+    let classes : (string, Amcast.Msg.t list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun m ->
+        match Amcast.Conflict.class_of conflict m with
+        | Some (Some c) -> (
+          match Hashtbl.find_opt classes c with
+          | Some l -> l := m :: !l
+          | None -> Hashtbl.replace classes c (ref [ m ]))
+        | Some None -> () (* solo: conflicts with nothing *)
+        | None -> assert false)
+      msgs;
+    Hashtbl.iter
+      (fun _ members ->
+        let rec pairs = function
+          | [] -> ()
+          | m1 :: rest ->
+            List.iter (fun m2 -> check_pair m1 m2) rest;
+            pairs rest
+        in
+        pairs !members)
+      classes);
+  if !violated then Reference.conflict_order ~conflict r else []
+
 (* Indexed genuineness: the allowed set as a per-pid bool array, so each
    trace entry costs O(1) instead of a List.mem over the allowed list. *)
 let genuineness (r : Run_result.t) =
@@ -366,7 +588,8 @@ let quiescence (r : Run_result.t) =
   else [ "run did not drain: the deployment kept scheduling events" ]
 
 let check_all ?(expect_genuine = false) ?(check_causal = false)
-    ?(check_quiescence = false) ?(liveness_from = Des.Sim_time.zero) r =
+    ?(check_quiescence = false) ?(liveness_from = Des.Sim_time.zero) ?conflict
+    r =
   (* Safety (integrity, prefix order, genuineness, causal order) is owed at
      every instant of every run, faults or not. Liveness (validity,
      agreement, quiescence) is only owed once the fault plan is over: a run
@@ -374,10 +597,18 @@ let check_all ?(expect_genuine = false) ?(check_causal = false)
      messages, so those checks gate on the run having reached
      [liveness_from] — the nemesis plan's final heal. *)
   let liveness_due = Des.Sim_time.( >= ) r.Run_result.end_time liveness_from in
+  let order_violations =
+    (* A Total conflict relation demands exactly total order — keep the
+       prefix checker (and its verdict strings) bit-identical to the
+       no-conflict path. *)
+    match conflict with
+    | None | Some Amcast.Conflict.Total -> uniform_prefix_order r
+    | Some c -> conflict_order ~conflict:c r
+  in
   uniform_integrity r
   @ (if liveness_due then validity r else [])
   @ (if liveness_due then uniform_agreement r else [])
-  @ uniform_prefix_order r
+  @ order_violations
   @ (if expect_genuine then genuineness r else [])
   @ (if check_causal then causal_delivery_order r else [])
   @ if check_quiescence && liveness_due then quiescence r else []

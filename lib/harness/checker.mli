@@ -29,6 +29,21 @@ val uniform_prefix_order : Run_result.t -> violation list
 (** For any two processes, the delivery sequences projected on their common
     messages are prefix-related. *)
 
+val conflict_order : conflict:Amcast.Conflict.t -> Run_result.t -> violation list
+(** The relaxed {e partial}-order check of generic multicast: only pairs
+    that conflict under [conflict] must be delivered in a consistent
+    relative order by their common addressees. For each conflicting cast
+    pair and each pair of common addressees, a violation is a
+    disagreement (both delivered both, in opposite orders), a hole (one
+    delivered both, the other delivered the later without the earlier —
+    it skipped a conflicting predecessor) or a crossed pair (each
+    delivered only one side — whichever way the pair is ordered, someone
+    already skipped a conflicting predecessor). Non-conflicting pairs are
+    unconstrained. Like the prefix check this is a safety property closed
+    under sequence extension, so checking the end state checks every
+    earlier instant; with [Conflict.total] it flags exactly the runs the
+    prefix check flags (the violation strings differ). *)
+
 val genuineness : Run_result.t -> violation list
 (** Only addressees and casters take part: every process that appears as
     the source or destination of any network send must be the caster or an
@@ -55,6 +70,7 @@ val check_all :
   ?check_causal:bool ->
   ?check_quiescence:bool ->
   ?liveness_from:Des.Sim_time.t ->
+  ?conflict:Amcast.Conflict.t ->
   Run_result.t ->
   violation list
 (** Integrity + validity + agreement + prefix order, plus genuineness when
@@ -62,6 +78,11 @@ val check_all :
     quiescence when [check_quiescence] (all default false). [check_causal]
     needs the trace; [check_quiescence] only makes sense on runs executed
     without a horizon by a protocol that stops scheduling when idle.
+
+    [conflict] selects the ordering property: absent or
+    {!Amcast.Conflict.Total}, the total-order prefix check (byte-identical
+    verdicts either way); any other relation, the relaxed
+    {!conflict_order} check — what a generic-multicast deployment owes.
 
     [liveness_from] (default {!Des.Sim_time.zero}) is the safety/liveness
     split for runs under a fault plan: the liveness checks — validity,
@@ -80,6 +101,10 @@ val check_all :
     violation strings match byte for byte. *)
 module Reference : sig
   val uniform_prefix_order : Run_result.t -> violation list
+
+  val conflict_order :
+    conflict:Amcast.Conflict.t -> Run_result.t -> violation list
+
   val genuineness : Run_result.t -> violation list
   val causal_delivery_order : Run_result.t -> violation list
 end

@@ -70,8 +70,13 @@ let pick_dest ~rng ~topology = function
     Hashtbl.fold (fun g () acc -> g :: acc) chosen []
     |> List.sort_uniq Int.compare
 
+type conflict_spec = { rate : float; keys : int; theta : float }
+
+let conflict_spec ?(keys = 16) ?(theta = 0.8) rate =
+  { rate = Float.min 1.0 (Float.max 0.0 rate); keys = max 1 keys; theta }
+
 let generate ~rng ~topology ~n ~dest ~arrival ?(start = Sim_time.of_ms 1)
-    ?origins ?origin_zipf () =
+    ?origins ?origin_zipf ?conflict () =
   let origins =
     match origins with
     | Some (_ :: _ as l) -> Array.of_list l
@@ -83,6 +88,17 @@ let generate ~rng ~topology ~n ~dest ~arrival ?(start = Sim_time.of_ms 1)
     | Some theta ->
       (* Hot-origin skew: a few processes produce most of the load. *)
       fun () -> origins.(zipf_index ~rng ~theta (Array.length origins))
+  in
+  let payload_of i =
+    match conflict with
+    | None -> Fmt.str "m%d" i
+    | Some { rate; keys; theta } ->
+      (* The Conflict.payload_key convention: "k=<key>;<rest>" payloads
+         conflict per key, anything else commutes with everything. Keys
+         are Zipf-ranked so skew concentrates conflicts on hot keys. *)
+      if Rng.float rng 1.0 < rate then
+        Fmt.str "k=key%d;m%d" (zipf_index ~rng ~theta keys) i
+      else Fmt.str "m%d" i
   in
   let time = ref start in
   let burst_left = ref 0 in
@@ -112,7 +128,7 @@ let generate ~rng ~topology ~n ~dest ~arrival ?(start = Sim_time.of_ms 1)
         at;
         origin = pick_origin ();
         dest = pick_dest ~rng ~topology dest;
-        payload = Fmt.str "m%d" i;
+        payload = payload_of i;
       })
 
 let span t =

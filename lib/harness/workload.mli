@@ -43,6 +43,20 @@ type dest_kind =
           low-numbered groups are hot. [theta = 0] degenerates to uniform;
           [theta ~ 1] is the classic hot-partition shape. *)
 
+type conflict_spec = { rate : float; keys : int; theta : float }
+(** The conflict knob for generic-multicast workloads: each cast is a
+    keyed (conflicting) command with probability [rate], in which case its
+    key is drawn Zipf([theta]) over [keys] ranked keys (hot keys
+    concentrate conflicts); otherwise it is a commuting command. Keyed
+    casts get payloads of the shape ["k=<key>;m<i>"] — exactly what
+    {!Amcast.Conflict.payload_key} parses — so the generated workload and
+    the deployment's conflict relation agree by construction. [rate = 1]
+    with [keys = 1] makes every pair conflict: the total-order limit. *)
+
+val conflict_spec : ?keys:int -> ?theta:float -> float -> conflict_spec
+(** [conflict_spec rate] with [rate] clamped to [0, 1]; defaults
+    [keys = 16], [theta = 0.8]. *)
+
 val generate :
   rng:Des.Rng.t ->
   topology:Net.Topology.t ->
@@ -55,6 +69,7 @@ val generate :
   ?start:Des.Sim_time.t ->
   ?origins:Net.Topology.pid list ->
   ?origin_zipf:float ->
+  ?conflict:conflict_spec ->
   unit ->
   t
 (** [n] casts from random origins (drawn from [origins], default: all
@@ -64,7 +79,9 @@ val generate :
     bursts of 1..[burst_max] simultaneous casts separated by exponential
     gaps of the given mean. [origin_zipf] skews origin choice with
     Zipf(theta) popularity over the origins list's order (hot producers);
-    omitted = uniform. *)
+    omitted = uniform. [conflict] turns payloads into the keyed/commuting
+    mix described at {!conflict_spec}; omitted = the plain ["m<i>"]
+    payloads (no rng draws, bit-identical to older workloads). *)
 
 val span : t -> Des.Sim_time.t
 (** Instant of the last cast ({!Des.Sim_time.zero} for the empty

@@ -192,6 +192,7 @@ let protocols : (string * (module Amcast.Protocol.S)) list =
     ("via-broadcast", (module Amcast.Via_broadcast));
     ("fritzke", (module Amcast.Fritzke));
     ("skeen", (module Amcast.Skeen));
+    ("generic", (module Amcast.Generic));
     ("ring", (module Amcast.Ring));
     ("scalable", (module Amcast.Scalable));
     ("sequencer", (module Amcast.Sequencer));
@@ -203,6 +204,14 @@ let config_of_name = function
   | "default" -> Some Amcast.Protocol.Config.default
   | "reference" -> Some Amcast.Protocol.Config.reference
   | "fritzke" -> Some Amcast.Protocol.Config.fritzke
+  | "generic-key" ->
+    (* The generic protocol under per-key payload conflicts — traces cast
+       "k=<key>;..." payloads to make messages conflict. *)
+    Some
+      {
+        Amcast.Protocol.Config.default with
+        conflict = Amcast.Conflict.payload_key;
+      }
   | _ -> None
 
 let replay ?max_steps t =
@@ -248,4 +257,9 @@ let replay ?max_steps t =
           ~topology workload
       in
       let r = E.replay ?max_steps setup t.choices in
-      Ok (r, Harness.Checker.check_all r))
+      let order_conflict =
+        match config.Amcast.Protocol.Config.conflict with
+        | Amcast.Conflict.Total -> None
+        | c -> Some c
+      in
+      Ok (r, Harness.Checker.check_all ?conflict:order_conflict r))

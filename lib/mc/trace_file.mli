@@ -75,6 +75,9 @@ val protocols : (string * (module Amcast.Protocol.S)) list
 val replay : ?max_steps:int -> t -> (Harness.Run_result.t * string list, string) result
 (** Resolves the protocol (applying the mutation, if any), replays the
     schedule through {!Explorer.Make.replay} and runs
-    {!Harness.Checker.check_all} with its defaults on the result.
-    [Ok (run, violations)] — an empty violation list means the replayed
-    schedule satisfies the checked properties. *)
+    {!Harness.Checker.check_all} with its defaults on the result — except
+    that a config preset carrying a non-total conflict relation (the
+    ["generic-key"] preset) switches the ordering property to the relaxed
+    {!Harness.Checker.conflict_order}. [Ok (run, violations)] — an empty
+    violation list means the replayed schedule satisfies the checked
+    properties. *)

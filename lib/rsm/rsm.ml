@@ -8,6 +8,13 @@ type ('state, 'cmd) spec = {
   placement : 'cmd -> Topology.gid list;
 }
 
+(* Lift a per-command key function through the spec's codec into a wire
+   level conflict relation: the generic protocol and the checker see
+   messages, the state machine sees commands. *)
+let keyed_conflict ?name ~spec key =
+  Amcast.Conflict.keyed ?name (fun (m : Amcast.Msg.t) ->
+      key (spec.decode m.payload))
+
 module Make (P : Amcast.Protocol.S) = struct
   module Runner = Harness.Runner.Make (P)
 

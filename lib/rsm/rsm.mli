@@ -33,6 +33,25 @@ type ('state, 'cmd) spec = {
           destination set). *)
 }
 
+val keyed_conflict :
+  ?name:string ->
+  spec:('state, 'cmd) spec ->
+  ('cmd -> string option) ->
+  Amcast.Conflict.t
+(** [keyed_conflict ~spec key] lifts a per-command conflict key (e.g. the
+    store key a KV command touches; [None] = the command commutes with
+    everything) through the spec's codec into a wire-level
+    {!Amcast.Conflict.t} for a generic-multicast deployment: commands
+    conflict iff their keys are equal. Soundness requirement on the
+    caller: commands mapped to different keys (or to [None]) must have
+    commuting [apply] functions — then replicas that disagree only on the
+    order of non-conflicting commands still converge to identical states.
+    Note that under such a deployment {!Make.check_consistency} (exact
+    log equality) is deliberately {e stronger} than what generic
+    multicast guarantees: use it with {!Amcast.Conflict.total}
+    deployments, and state-level equality plus per-key log equality for
+    keyed ones. *)
+
 module Make (P : Amcast.Protocol.S) : sig
   type ('state, 'cmd) t
 

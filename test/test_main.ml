@@ -5,5 +5,6 @@ let () =
    @ Test_a1.suites @ Test_a2.suites @ Test_baselines.suites
    @ Test_partitions.suites @ Test_rsm.suites @ Test_harness.suites
    @ Test_properties.suites @ Test_checkers.suites @ Test_parallel.suites
-   @ Test_fastlanes.suites @ Test_nemesis.suites @ Test_soak.suites
+   @ Test_fastlanes.suites @ Test_generic.suites @ Test_nemesis.suites
+   @ Test_soak.suites
    @ Test_mc.suites @ Test_throughput.suites @ Test_scale.suites)

@@ -2,11 +2,11 @@
    bin/amcast_soak drives, kept small enough for the test suite. *)
 
 let campaign ?(broadcast_only = false) ?(with_crashes = false)
-    ?(expect_genuine = false) name proto =
+    ?(expect_genuine = false) ?config ?conflict ?(seed = 99) name proto =
   Alcotest.test_case name `Slow (fun () ->
       let summary =
-        Harness.Campaign.run proto ~expect_genuine ~broadcast_only
-          ~with_crashes ~seed:99 ~runs:12 ()
+        Harness.Campaign.run proto ?config ?conflict ~expect_genuine
+          ~broadcast_only ~with_crashes ~seed ~runs:12 ()
       in
       (match summary.failures with
       | [] -> ()
@@ -14,6 +14,40 @@ let campaign ?(broadcast_only = false) ?(with_crashes = false)
         Alcotest.failf "campaign violation: %s"
           (String.concat "; " o.violations));
       Alcotest.(check int) "all clean" summary.runs summary.clean)
+
+(* PR 6 observed the ring target exhausting the runner's [max_steps]
+   runaway guard on amcast_soak's seed-0 scenario set; the root cause
+   (stale entries pinning the token queue's filter) was fixed in the
+   ring rework, with the minimized repro pinned by
+   [test_scale.test_ring_livelock_regression]. This re-runs the original
+   soak-level repro — the exact seed-0 campaign scenarios — and asserts
+   every run drains (quiescence would flag a run saved only by the step
+   guard). *)
+let ring_seed0_regression =
+  Alcotest.test_case "ring: seed-0 soak scenarios drain (PR 6 regression)"
+    `Slow (fun () ->
+      let scenarios = Harness.Campaign.scenarios ~seed:0 ~runs:12 () in
+      let outcomes =
+        Harness.Campaign.run_scenarios
+          (module Amcast.Ring : Amcast.Protocol.S)
+          ~expect_genuine:true ~check_quiescence:true scenarios
+      in
+      List.iter
+        (fun (o : Harness.Campaign.outcome) ->
+          if not o.drained then
+            Alcotest.failf "seed %d did not drain (%d steps)"
+              o.scenario.Harness.Campaign.seed o.steps;
+          match o.violations with
+          | [] -> ()
+          | v -> Alcotest.failf "seed %d: %s" o.scenario.seed
+                   (String.concat "; " v))
+        outcomes)
+
+let generic_key_config =
+  {
+    Amcast.Protocol.Config.default with
+    conflict = Amcast.Conflict.payload_key;
+  }
 
 let suites =
   [
@@ -28,7 +62,13 @@ let suites =
         campaign ~with_crashes:true ~expect_genuine:true "fritzke"
           (module Amcast.Fritzke);
         campaign ~expect_genuine:true "skeen" (module Amcast.Skeen);
+        campaign ~expect_genuine:true "generic (total conflict)"
+          (module Amcast.Generic);
+        campaign ~expect_genuine:true ~config:generic_key_config
+          ~conflict:(Harness.Workload.conflict_spec 0.5)
+          "generic (keyed conflicts)" (module Amcast.Generic);
         campaign ~expect_genuine:true "ring" (module Amcast.Ring);
+        ring_seed0_regression;
         campaign ~expect_genuine:true "scalable" (module Amcast.Scalable);
         campaign ~broadcast_only:true "sequencer" (module Amcast.Sequencer);
       ] );
