@@ -116,18 +116,17 @@ let () =
   in
   let with_nemesis = !nemesis in
   let runs =
-    if Array.length positional > 0 then int_of_string positional.(0) else 50
+    if Array.length positional > 0 then int_arg "RUNS" positional.(0) ~min:1
+    else 50
   in
   let seed =
-    if Array.length positional > 1 then int_of_string positional.(1) else 0
+    if Array.length positional > 1 then int_arg "SEED" positional.(1) ~min:0
+    else 0
   in
   let domains =
     if Array.length positional > 2 then
-      match int_of_string positional.(2) with
+      match int_arg "DOMAINS" positional.(2) ~min:0 with
       | 0 -> Harness.Pool.recommended_domains ()
-      | d when d < 0 ->
-        prerr_endline "amcast_soak: DOMAINS must be >= 0";
-        exit 2
       | d -> d
     else 1
   in

@@ -15,6 +15,65 @@ let keyed_conflict ?name ~spec key =
   Amcast.Conflict.keyed ?name (fun (m : Amcast.Msg.t) ->
       key (spec.decode m.payload))
 
+(* The replica-consistency oracle, shared by the DES deployments below and
+   the real (TCP) KV service: correct replicas of a group must hold
+   identical encoded command logs, crashed replicas a prefix of them.
+   [logs] holds each replica's encoded log, oldest first — computed once
+   by the caller, not re-encoded per comparison. *)
+let check_logs ~topology ~alive ~(logs : string list array) =
+  let violations = ref [] in
+  let report fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  let rec divergence i l r =
+    match (l, r) with
+    | x :: l', y :: r' ->
+      if String.equal x y then divergence (i + 1) l' r' else Some (i, x, y)
+    | _ -> None
+  in
+  (* A correct replica must match the reference exactly; a crashed one
+     ([prefix_ok]) may have stopped short of the tail, but what it did
+     apply must be a prefix of what the correct replicas applied. *)
+  let compare_logs ~g ~prefix_ok pid ref_pid =
+    let log = logs.(pid) and ref_log = logs.(ref_pid) in
+    match divergence 0 log ref_log with
+    | Some (i, a, b) ->
+      report "group %d: replicas p%d and p%d diverge at index %d (%S vs %S)"
+        g pid ref_pid i a b
+    | None ->
+      let n = List.length log and n_ref = List.length ref_log in
+      if n = n_ref || (prefix_ok && n < n_ref) then ()
+      else
+        report "group %d: replica p%d applied %d commands but p%d applied %d"
+          g pid ref_pid n n_ref
+  in
+  List.iter
+    (fun g ->
+      match Topology.members topology g with
+      | [] | [ _ ] -> ()
+      | members ->
+        let correct = List.filter alive members in
+        let reference, others =
+          match correct with
+          | ref_pid :: _ ->
+            (ref_pid, List.filter (fun p -> p <> ref_pid) members)
+          | [] ->
+            (* The whole group crashed: the longest log stands in as the
+               reference and the rest must be prefixes of it. *)
+            let longest =
+              List.fold_left
+                (fun best p ->
+                  if List.length logs.(p) > List.length logs.(best) then p
+                  else best)
+                (List.hd members) (List.tl members)
+            in
+            (longest, List.filter (fun p -> p <> longest) members)
+        in
+        List.iter
+          (fun pid ->
+            compare_logs ~g ~prefix_ok:(not (alive pid)) pid reference)
+          others)
+    (Topology.all_groups topology);
+  List.rev !violations
+
 module Make (P : Amcast.Protocol.S) = struct
   module Runner = Harness.Runner.Make (P)
 
@@ -79,32 +138,15 @@ module Make (P : Amcast.Protocol.S) = struct
   let log_of t pid = List.rev t.replicas.(pid).log
 
   let check_consistency t =
-    let violations = ref [] in
-    List.iter
-      (fun g ->
-        match Topology.members t.topology g with
-        | [] | [ _ ] -> ()
-        | first :: rest ->
-          let ref_log = log_of t first in
-          List.iter
-            (fun pid ->
-              let log = log_of t pid in
-              if
-                not
-                  (List.length log = List.length ref_log
-                  && List.for_all2
-                       (fun a b -> t.spec.encode a = t.spec.encode b)
-                       log ref_log)
-              then
-                violations :=
-                  Fmt.str
-                    "group %d: replica p%d applied a different command log \
-                     than p%d (%d vs %d commands)"
-                    g pid first (List.length log) (List.length ref_log)
-                  :: !violations)
-            rest)
-      (Topology.all_groups t.topology);
-    !violations
+    let engine = Runner.engine t.deployment in
+    (* Encode every replica's log once up front: logs are stored newest
+       first, so [rev_map] yields them oldest first, ready to compare. *)
+    let logs =
+      Array.map (fun r -> List.rev_map t.spec.encode r.log) t.replicas
+    in
+    check_logs ~topology:t.topology
+      ~alive:(fun pid -> Runtime.Engine.alive engine pid)
+      ~logs
 
   let engine t = Runner.engine t.deployment
 end

@@ -52,6 +52,19 @@ val keyed_conflict :
     deployments, and state-level equality plus per-key log equality for
     keyed ones. *)
 
+val check_logs :
+  topology:Net.Topology.t ->
+  alive:(Net.Topology.pid -> bool) ->
+  logs:string list array ->
+  string list
+(** The replica-consistency oracle shared by DES deployments
+    ({!Make.check_consistency}) and the real KV service: per group, the
+    logs of correct ([alive]) replicas must be identical and the log of a
+    crashed replica must be a prefix of theirs. [logs] holds each
+    replica's encoded command log, oldest first (encode once — this
+    function never re-encodes). Violation messages name the first
+    diverging index and the two encoded commands there. *)
+
 module Make (P : Amcast.Protocol.S) : sig
   type ('state, 'cmd) t
 
@@ -84,8 +97,12 @@ module Make (P : Amcast.Protocol.S) : sig
   (** Commands applied by the replica, oldest first. *)
 
   val check_consistency : ('state, 'cmd) t -> string list
-  (** Replica-consistency violations: replicas of the same group must have
-      applied identical command logs (empty list = consistent). *)
+  (** Replica-consistency violations (empty list = consistent). Correct
+      replicas of the same group must have applied identical command
+      logs; a {e crashed} replica's log need only be a prefix of the
+      correct ones' — it legitimately stopped applying at its crash.
+      Violation messages name the first diverging index and the two
+      encoded commands there. *)
 
   val engine : ('state, 'cmd) t -> P.wire Runtime.Engine.t
   (** Escape hatch for fault injection and adversarial network control. *)

@@ -93,7 +93,11 @@ let create ?(seed = 0) ?(latency = Latency.wan_default)
   t.network <- Some network;
   t
 
-let services t pid =
+(* The DES implementation of the backend-facing transport surface. The
+   closures below are the protocol-visible behaviour of the simulator;
+   [services] only adds the trace-recording hooks on top, so the factoring
+   is invisible to protocols (bit-identical runs). *)
+let transport t pid =
   let send ~dst payload =
     if not t.crashed.(pid) then begin
       let same_group = Topology.same_group t.topology pid dst in
@@ -153,20 +157,6 @@ let services t pid =
     Scheduler.after_tagged t.sched (Scheduler.Tag.timer pid) after (fun () ->
         if not t.crashed.(pid) then f ())
   in
-  let record_cast id =
-    t.lcs.(pid) <- Lclock.on_local t.lcs.(pid);
-    Trace.record t.trace
-      (Cast { time = Scheduler.now t.sched; pid; id; lc = t.lcs.(pid) })
-  in
-  let record_deliver id =
-    t.lcs.(pid) <- Lclock.on_local t.lcs.(pid);
-    Trace.record t.trace
-      (Deliver { time = Scheduler.now t.sched; pid; id; lc = t.lcs.(pid) })
-  in
-  let note text =
-    Trace.record t.trace
-      (Note { time = Scheduler.now t.sched; pid; text })
-  in
   let on_crash_detected ~delay callback =
     t.crash_subs <- { subscriber = pid; delay; callback } :: t.crash_subs;
     (* Already-crashed processes are reported too: find them via the flag
@@ -184,22 +174,35 @@ let services t pid =
   in
   let on_fd_perturb f = t.fd_subs <- t.fd_subs @ [ (pid, f) ] in
   {
-    Services.self = pid;
+    Transport.self = pid;
     topology = t.topology;
-    rng = t.node_rngs.(pid);
     send;
     send_multi;
     now = (fun () -> Scheduler.now t.sched);
     set_timer;
     cancel_timer = (fun h -> Scheduler.cancel t.sched h);
     lc = (fun () -> t.lcs.(pid));
-    record_cast;
-    record_deliver;
-    note;
     alive = (fun q -> not t.crashed.(q));
     on_crash_detected;
     on_fd_perturb;
   }
+
+let services t pid =
+  let record_cast id =
+    t.lcs.(pid) <- Lclock.on_local t.lcs.(pid);
+    Trace.record t.trace
+      (Cast { time = Scheduler.now t.sched; pid; id; lc = t.lcs.(pid) })
+  in
+  let record_deliver id =
+    t.lcs.(pid) <- Lclock.on_local t.lcs.(pid);
+    Trace.record t.trace
+      (Deliver { time = Scheduler.now t.sched; pid; id; lc = t.lcs.(pid) })
+  in
+  let note text =
+    Trace.record t.trace (Note { time = Scheduler.now t.sched; pid; text })
+  in
+  Services.of_transport ~record_cast ~record_deliver ~note
+    ~rng:t.node_rngs.(pid) (transport t pid)
 
 let spawn t pid make =
   (match t.nodes.(pid) with

@@ -43,7 +43,16 @@ val spawn : 'w t -> Net.Topology.pid -> ('w Services.t -> 'a * 'w node) -> 'a
     @raise Invalid_argument if [p] already has a node. *)
 
 val services : 'w t -> Net.Topology.pid -> 'w Services.t
-(** The capability record of an already-spawned process. *)
+(** The capability record of an already-spawned process. Equal to
+    {!Services.of_transport} over {!transport} with the engine's trace
+    hooks and the process's private random stream. *)
+
+val transport : 'w t -> Net.Topology.pid -> 'w Transport.t
+(** The DES implementation of the backend-facing {!Transport.t} surface
+    for one process: virtual-time [now]/timers, trace-recording sends
+    through the simulated network, the oracle crash-notification stream.
+    The protocol-visible behaviour of {!services} is exactly this
+    transport. *)
 
 val schedule_crash :
   ?drop:drop_spec -> 'w t -> at:Des.Sim_time.t -> Net.Topology.pid -> unit

@@ -21,6 +21,28 @@ type 'w t = {
          Detectors without adaptive timeouts ignore it. *)
 }
 
+let nop1 _ = ()
+
+let of_transport ?(record_cast = nop1) ?(record_deliver = nop1)
+    ?(note = nop1) ~rng (tr : 'w Transport.t) =
+  {
+    self = tr.Transport.self;
+    topology = tr.Transport.topology;
+    rng;
+    send = tr.Transport.send;
+    send_multi = tr.Transport.send_multi;
+    now = tr.Transport.now;
+    set_timer = tr.Transport.set_timer;
+    cancel_timer = tr.Transport.cancel_timer;
+    lc = tr.Transport.lc;
+    record_cast;
+    record_deliver;
+    note;
+    alive = tr.Transport.alive;
+    on_crash_detected = tr.Transport.on_crash_detected;
+    on_fd_perturb = tr.Transport.on_fd_perturb;
+  }
+
 let send_all t pids w = List.iter (fun dst -> t.send ~dst w) pids
 let send_multi t pids w = t.send_multi pids w
 let send_group t g w = send_all t (Net.Topology.members t.topology g) w

@@ -55,6 +55,21 @@ type 'w t = {
           detectors without adaptive timeouts simply don't subscribe. *)
 }
 
+val of_transport :
+  ?record_cast:(Msg_id.t -> unit) ->
+  ?record_deliver:(Msg_id.t -> unit) ->
+  ?note:(string -> unit) ->
+  rng:Des.Rng.t ->
+  'w Transport.t ->
+  'w t
+(** Assemble the full capability record from a backend {!Transport.t} plus
+    the harness-side instrumentation: the process's private random stream
+    and the cast/deliver/note recording hooks (no-ops by default — a real
+    deployment that keeps its own delivery log needs no trace). Every
+    effectful field is the transport's own; this function adds nothing but
+    the instrumentation, so protocol behaviour depends only on the
+    backend. *)
+
 val send_all : 'w t -> Net.Topology.pid list -> 'w -> unit
 (** Send the same message to every listed process (including possibly
     [self]; self-sends go through the network like any other). *)

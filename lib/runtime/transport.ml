@@ -1,0 +1,14 @@
+type 'w t = {
+  self : Net.Topology.pid;
+  topology : Net.Topology.t;
+  send : dst:Net.Topology.pid -> 'w -> unit;
+  send_multi : Net.Topology.pid list -> 'w -> unit;
+  now : unit -> Des.Sim_time.t;
+  set_timer : after:Des.Sim_time.t -> (unit -> unit) -> int;
+  cancel_timer : int -> unit;
+  lc : unit -> Lclock.t;
+  alive : Net.Topology.pid -> bool;
+  on_crash_detected :
+    delay:Des.Sim_time.t -> (Net.Topology.pid -> unit) -> unit;
+  on_fd_perturb : (float -> unit) -> unit;
+}

@@ -1,0 +1,53 @@
+(** The backend-facing half of the protocol capability surface.
+
+    Everything a protocol instance needs from the world that involves
+    moving messages, reading a clock or learning about crashes — the
+    fields of {!Services.t} minus the harness-only instrumentation hooks
+    (rng, cast/deliver/note recording). A backend provides one value of
+    this type per process; {!Services.of_transport} turns it into the
+    full capability record protocols are written against.
+
+    Two backends implement it:
+
+    - the discrete-event engine ({!Engine.transport}) — virtual time,
+      deterministic given the seed; the twin every scenario, checker and
+      model-checking run executes against;
+    - the real one ([Transport.Tcp] in [lib/transport]) — Unix TCP
+      sockets on localhost or a real network, monotonic-clock timers,
+      optional per-link delay injection reproducing the WAN shapes of
+      {!Net.Latency} on localhost.
+
+    The contract both must honour, so that the same protocol code is
+    correct on either:
+
+    - [send]/[send_multi] are asynchronous, reliable to non-crashed
+      destinations, FIFO per (src, dst) link, and apply the modified
+      Lamport clock rule (inter-group sends carry LC+1; the sender's own
+      clock never advances on a send);
+    - receive handlers and timer callbacks of one process never run
+      concurrently with each other (single-threaded process model);
+    - [set_timer] is one-shot and the callback is skipped if the process
+      has crashed by the time it fires;
+    - [on_crash_detected] notifications fire [delay] after the crash
+      instant and never on the crashed process itself. *)
+
+type 'w t = {
+  self : Net.Topology.pid;
+  topology : Net.Topology.t;
+  send : dst:Net.Topology.pid -> 'w -> unit;
+  send_multi : Net.Topology.pid list -> 'w -> unit;
+      (** Fan-out send, observably equivalent to iterating [send] over the
+          list (backends may carry the fan-out as one event/envelope). *)
+  now : unit -> Des.Sim_time.t;
+      (** Virtual time on the DES; microseconds of monotonic clock since
+          the deployment epoch on a real backend. *)
+  set_timer : after:Des.Sim_time.t -> (unit -> unit) -> int;
+  cancel_timer : int -> unit;
+  lc : unit -> Lclock.t;
+      (** The process's modified Lamport clock, maintained by the backend
+          at message receipt. *)
+  alive : Net.Topology.pid -> bool;
+  on_crash_detected :
+    delay:Des.Sim_time.t -> (Net.Topology.pid -> unit) -> unit;
+  on_fd_perturb : (float -> unit) -> unit;
+}

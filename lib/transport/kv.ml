@@ -1,0 +1,108 @@
+(* The replicated key-value state machine: SET/GET/DEL commands over
+   Rsm.spec, with per-key placement (a key's group is a stable hash of the
+   key) so single-key commands are genuine single-group multicasts and the
+   service exercises partial replication exactly like the paper's
+   motivating application.
+
+   GET is a command too — it goes through the ordering layer like a write,
+   which is what makes a read linearizable in a replicated service (the
+   reply reflects every write ordered before it at its shard). *)
+
+module SMap = Map.Make (String)
+
+type cmd = Set of string * string | Get of string | Del of string
+type state = string SMap.t
+
+let key_of = function Set (k, _) | Get k | Del k -> k
+
+(* Stable across runs, processes and backends (unlike Hashtbl.hash, which
+   is only morally stable): the DES twin and the TCP deployment must place
+   a key on the same group. *)
+let string_hash s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (((!h lsl 5) + !h) + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+let group_of_key ~groups k = string_hash k mod groups
+
+(* Wire/WAL codec. Keys must not contain NUL (enforced by [parse]); the
+   value may contain anything. *)
+let encode = function
+  | Set (k, v) -> "S" ^ k ^ "\x00" ^ v
+  | Get k -> "G" ^ k
+  | Del k -> "D" ^ k
+
+let decode s =
+  if String.length s = 0 then invalid_arg "Kv.decode: empty"
+  else
+    let rest = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'S' -> (
+      match String.index_opt rest '\x00' with
+      | None -> invalid_arg "Kv.decode: malformed SET"
+      | Some i ->
+        Set
+          ( String.sub rest 0 i,
+            String.sub rest (i + 1) (String.length rest - i - 1) ))
+    | 'G' -> Get rest
+    | 'D' -> Del rest
+    | _ -> invalid_arg "Kv.decode: unknown tag"
+
+let spec ~groups : (state, cmd) Rsm.spec =
+  {
+    Rsm.initial = (fun () -> SMap.empty);
+    apply =
+      (fun state cmd ->
+        match cmd with
+        | Set (k, v) -> SMap.add k v state
+        | Del k -> SMap.remove k state
+        | Get _ -> state);
+    encode;
+    decode;
+    placement = (fun cmd -> [ group_of_key ~groups (key_of cmd) ]);
+  }
+
+let conflict ~groups =
+  Rsm.keyed_conflict ~name:"kv-key" ~spec:(spec ~groups) (fun cmd ->
+      Some (key_of cmd))
+
+let query state k = SMap.find_opt k state
+
+(* The reply a replica computes when it applies [cmd] to [state] (state
+   {e before} application for GET — equivalent either way, a GET does not
+   write). *)
+let reply_of state = function
+  | Get k -> (
+    match query state k with None -> (false, "") | Some v -> (true, v))
+  | Set _ | Del _ -> (true, "OK")
+
+(* ---------- the client text protocol ---------- *)
+
+let valid_key k =
+  k <> "" && not (String.exists (fun c -> c = '\x00' || c = ' ') k)
+
+(* "SET <key> <value>" | "GET <key>" | "DEL <key>"; the value is the rest
+   of the line, spaces included. *)
+let parse line =
+  let sp = String.index_opt line ' ' in
+  match sp with
+  | None -> None
+  | Some i -> (
+    let verb = String.sub line 0 i in
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    match verb with
+    | "SET" | "set" -> (
+      match String.index_opt rest ' ' with
+      | None -> None
+      | Some j ->
+        let k = String.sub rest 0 j in
+        let v = String.sub rest (j + 1) (String.length rest - j - 1) in
+        if valid_key k then Some (Set (k, v)) else None)
+    | "GET" | "get" -> if valid_key rest then Some (Get rest) else None
+    | "DEL" | "del" -> if valid_key rest then Some (Del rest) else None
+    | _ -> None)
+
+let print = function
+  | Set (k, v) -> "SET " ^ k ^ " " ^ v
+  | Get k -> "GET " ^ k
+  | Del k -> "DEL " ^ k

@@ -1,0 +1,164 @@
+(* Closed-loop multi-client load driver for the replicated KV service.
+
+   Each client is one OS thread with one request in flight: pick a key,
+   route to the key's replica, send, block on the reply, record the
+   round-trip. Closed-loop load is self-clocking — throughput is whatever
+   the service sustains at this concurrency, and the recorded latencies
+   are honest service latencies, not coordinated-omission artefacts of an
+   open-loop schedule the service cannot keep up with. *)
+
+type params = {
+  clients : int;
+  duration : float; (* seconds of measured load *)
+  keyspace : int; (* distinct keys, k0 .. k<keyspace-1> *)
+  value_bytes : int;
+  get_ratio : float; (* fraction of GETs *)
+  del_ratio : float; (* fraction of DELs; the rest are SETs *)
+  seed : int;
+}
+
+let default =
+  {
+    clients = 8;
+    duration = 3.0;
+    keyspace = 64;
+    value_bytes = 32;
+    get_ratio = 0.5;
+    del_ratio = 0.05;
+    seed = 0;
+  }
+
+type result = {
+  ops : int; (* replies received (ok or application-level not-found) *)
+  errors : int; (* transport failures *)
+  redirects : int; (* mis-routed requests that had to follow a redirect *)
+  wall_s : float;
+  throughput : float; (* ops / wall_s *)
+  mean_ms : float option;
+  p50_ms : float option;
+  p99_ms : float option;
+}
+
+(* One client's connection cache: the driver routes per key, so a client
+   talks to one replica per group it touches. *)
+type conns = (string * int, Tcp.Client.t) Hashtbl.t
+
+let conn_to (conns : conns) addr =
+  match Hashtbl.find_opt conns addr with
+  | Some c -> c
+  | None ->
+    let c = Tcp.Client.connect addr in
+    Hashtbl.replace conns addr c;
+    c
+
+let drop_conn (conns : conns) addr =
+  match Hashtbl.find_opt conns addr with
+  | None -> ()
+  | Some c ->
+    Hashtbl.remove conns addr;
+    (try Tcp.Client.close c with _ -> ())
+
+type client_tally = {
+  mutable c_ops : int;
+  mutable c_errors : int;
+  mutable c_redirects : int;
+  mutable c_lat : float list; (* round-trips, seconds *)
+}
+
+let parse_redirect reply =
+  match String.split_on_char ' ' reply with
+  | [ "REDIRECT"; _pid; host; port ] -> (
+    match int_of_string_opt port with
+    | Some p -> Some (host, p)
+    | None -> None)
+  | _ -> None
+
+let client_loop ~route ~deadline ~params ~index (tally : client_tally) =
+  let rng = Des.Rng.substream params.seed (index + 7001) in
+  let conns : conns = Hashtbl.create 8 in
+  let value = String.make (max 1 params.value_bytes) 'v' in
+  let op_line () =
+    let key = Printf.sprintf "k%d" (Des.Rng.int rng (max 1 params.keyspace)) in
+    let p = Des.Rng.float rng 1.0 in
+    let line =
+      if p < params.get_ratio then "GET " ^ key
+      else if p < params.get_ratio +. params.del_ratio then "DEL " ^ key
+      else "SET " ^ key ^ " " ^ value
+    in
+    (key, line)
+  in
+  while Unix.gettimeofday () < deadline do
+    let key, line = op_line () in
+    let addr = route key in
+    let started = Unix.gettimeofday () in
+    match
+      let c = conn_to conns addr in
+      Tcp.Client.request c line
+    with
+    | exception _ ->
+      (* connection died (replica crash, shutdown race): reconnect on the
+         next iteration, after a beat so a dead cluster can't spin us *)
+      drop_conn conns addr;
+      tally.c_errors <- tally.c_errors + 1;
+      Thread.delay 0.005
+    | ok, reply -> (
+      match (ok, parse_redirect reply) with
+      | false, Some addr' -> (
+        (* follow one redirect; count it so mis-routing is visible *)
+        tally.c_redirects <- tally.c_redirects + 1;
+        match
+          let c = conn_to conns addr' in
+          Tcp.Client.request c line
+        with
+        | exception _ ->
+          drop_conn conns addr';
+          tally.c_errors <- tally.c_errors + 1
+        | _ ->
+          tally.c_ops <- tally.c_ops + 1;
+          tally.c_lat <- (Unix.gettimeofday () -. started) :: tally.c_lat)
+      | _ ->
+        tally.c_ops <- tally.c_ops + 1;
+        tally.c_lat <- (Unix.gettimeofday () -. started) :: tally.c_lat)
+  done;
+  Hashtbl.iter (fun _ c -> try Tcp.Client.close c with _ -> ()) conns
+
+let run ~route params =
+  let tallies =
+    Array.init params.clients (fun _ ->
+        { c_ops = 0; c_errors = 0; c_redirects = 0; c_lat = [] })
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. params.duration in
+  let threads =
+    Array.mapi
+      (fun index tally ->
+        Thread.create
+          (fun () -> client_loop ~route ~deadline ~params ~index tally)
+          ())
+      tallies
+  in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let ops = Array.fold_left (fun a t -> a + t.c_ops) 0 tallies in
+  let errors = Array.fold_left (fun a t -> a + t.c_errors) 0 tallies in
+  let redirects = Array.fold_left (fun a t -> a + t.c_redirects) 0 tallies in
+  let lat_ms =
+    Array.fold_left
+      (fun acc t -> List.rev_append (List.rev_map (fun s -> s *. 1e3) t.c_lat) acc)
+      [] tallies
+  in
+  let mean_ms =
+    match lat_ms with
+    | [] -> None
+    | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+  in
+  {
+    ops;
+    errors;
+    redirects;
+    wall_s;
+    throughput = (if wall_s > 0.0 then float_of_int ops /. wall_s else 0.0);
+    mean_ms;
+    p50_ms = Harness.Stats.percentile 50.0 lat_ms;
+    p99_ms = Harness.Stats.percentile 99.0 lat_ms;
+  }

@@ -1,0 +1,39 @@
+(** Closed-loop multi-client load driver for the replicated KV service.
+
+    Each client is one OS thread with one request in flight: route the
+    key, send, block on the reply, record the round-trip. Closed-loop
+    load is self-clocking, so the reported throughput is what the service
+    sustains at this concurrency and the latencies are free of
+    coordinated-omission artefacts. Results serialise to the
+    [BENCH_kv.json] schema documented in EXPERIMENTS.md. *)
+
+type params = {
+  clients : int;
+  duration : float;  (** seconds of measured load *)
+  keyspace : int;  (** distinct keys, [k0 .. k<keyspace-1>] *)
+  value_bytes : int;
+  get_ratio : float;  (** fraction of GETs *)
+  del_ratio : float;  (** fraction of DELs; the rest are SETs *)
+  seed : int;
+}
+
+val default : params
+(** 8 clients, 3 s, 64 keys, 32-byte values, 50% GET / 5% DEL, seed 0. *)
+
+type result = {
+  ops : int;  (** replies received *)
+  errors : int;  (** transport failures (reconnected and carried on) *)
+  redirects : int;  (** mis-routed requests that followed a redirect *)
+  wall_s : float;
+  throughput : float;  (** [ops /. wall_s] *)
+  mean_ms : float option;
+  p50_ms : float option;
+  p99_ms : float option;  (** [None] when no op completed *)
+}
+
+val run : route:(string -> string * int) -> params -> result
+(** Drive the cluster. [route key] is the address of the replica to send
+    that key's commands to (normally a member of
+    [Kv.group_of_key ~groups key]'s group — a wrong answer still works
+    via one redirect per request, and is counted). Blocks for
+    [params.duration] plus stragglers. *)

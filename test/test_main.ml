@@ -7,4 +7,5 @@ let () =
    @ Test_properties.suites @ Test_checkers.suites @ Test_parallel.suites
    @ Test_fastlanes.suites @ Test_generic.suites @ Test_nemesis.suites
    @ Test_soak.suites
-   @ Test_mc.suites @ Test_throughput.suites @ Test_scale.suites)
+   @ Test_mc.suites @ Test_throughput.suites @ Test_scale.suites
+   @ Test_transport.suites)
