@@ -324,6 +324,121 @@ let steady_cell (type a) name (module P : Amcast.Protocol.S with type t = a)
   s
 
 (* ------------------------------------------------------------------ *)
+(* Overlay cells: one multicast over a non-clique WAN geometry, per
+   protocol. The overlay's routed-path delays are the latency model, so a
+   clique-model protocol's direct spoke-to-spoke send models traffic that
+   physically traverses every link on the route — it is charged
+   [Overlay.hops] link crossings ([Overlay.inter_crossings] of them
+   inter-continental) — while flexcast forwards hop by hop and pays one
+   link per send. Genuineness (overlay-aware: off-path groups silent) is
+   asserted by the checker on every genuine-protocol cell. *)
+
+type overlay_cell = {
+  o_topology : string;
+  o_algorithm : string;
+  o_groups : int;
+  o_d : int;
+  o_k : int;
+  o_degree : int option;
+  o_inter_msgs : int;
+  o_link_crossings : int; (* overlay links traversed, all classes *)
+  o_intercontinental : int; (* Intercontinental links traversed *)
+  o_latency_ms : float option;
+  o_violations : string list;
+}
+
+let overlay_crossings ov topo trace =
+  List.fold_left
+    (fun ((links, inter) as acc) entry ->
+      match entry with
+      | Runtime.Trace.Send { src; dst; inter_group = true; _ } ->
+        let sg = Topology.group_of topo src
+        and dg = Topology.group_of topo dst in
+        ( links + Overlay.hops ov ~src:sg ~dst:dg,
+          inter + Overlay.inter_crossings ov ~src:sg ~dst:dg )
+      | _ -> acc)
+    (0, 0)
+    (Runtime.Trace.entries trace)
+
+let run_overlay_cell (module P : Amcast.Protocol.S) ~name ~ov_name ~ov ~seed
+    ~d ~dest ~origin ~expect_genuine =
+  let module R = Harness.Runner.Make (P) in
+  let groups = Overlay.groups ov in
+  let topo = Topology.symmetric ~groups ~per_group:d in
+  let latency = Overlay.to_latency ov in
+  let config = { Amcast.Protocol.Config.default with overlay = Some ov } in
+  let dep = R.deploy ~seed ~latency ~config topo in
+  let id = R.cast_at dep ~at:(ms 300) ~origin ~dest () in
+  let r = R.run_deployment dep in
+  let links, inter_c = overlay_crossings ov topo r.trace in
+  let violations =
+    Harness.Checker.check_all ~expect_genuine ~check_quiescence:true
+      ~overlay:ov r
+  in
+  let c =
+    {
+      o_topology = ov_name;
+      o_algorithm = name;
+      o_groups = groups;
+      o_d = d;
+      o_k = List.length dest;
+      o_degree = Harness.Metrics.latency_degree r id;
+      o_inter_msgs = r.inter_group_msgs;
+      o_link_crossings = links;
+      o_intercontinental = inter_c;
+      o_latency_ms = Harness.Metrics.mean_delivery_latency_ms r;
+      o_violations = violations;
+    }
+  in
+  Printf.printf
+    "  overlay %-5s %-9s g=%d d=%d k=%d  deg %s  inter %d  links %d  \
+     intercontinental %d  lat %s%s\n\
+     %!"
+    ov_name name groups d (List.length dest)
+    (match c.o_degree with Some x -> string_of_int x | None -> "-")
+    c.o_inter_msgs links inter_c
+    (match c.o_latency_ms with
+    | Some l -> Printf.sprintf "%.0fms" l
+    | None -> "-")
+    (if violations = [] then "" else "  VIOLATIONS");
+  c
+
+(* Hub: spokes 1 and 3 multicast (origin in the last destination group,
+   the Figure 1(a) placement), so every clique-model direct send between
+   the two spokes crosses the hub's two inter-continental links. Ring:
+   groups 2 and 4 of a 5-ring, with group 3 an interior relay group on
+   the 2--4 stamp route. A2 is broadcast-only: its cells cast to every
+   group from group 0. *)
+let overlay_cells ~seed =
+  let multicast (ov_name, ov, dest) =
+    let d = 2 in
+    let topo = Topology.symmetric ~groups:(Overlay.groups ov) ~per_group:d in
+    let origin =
+      List.hd (Topology.members topo (List.nth dest (List.length dest - 1)))
+    in
+    let mk name proto expect_genuine =
+      run_overlay_cell proto ~name ~ov_name ~ov ~seed ~d ~dest ~origin
+        ~expect_genuine
+    in
+    let all = Topology.all_groups topo in
+    [
+      mk "a1" (module Amcast.A1 : Amcast.Protocol.S) true;
+      mk "skeen" (module Amcast.Skeen) true;
+      mk "whitebox" (module Amcast.Whitebox) true;
+      mk "flexcast" (module Amcast.Flexcast) true;
+      run_overlay_cell
+        (module Amcast.A2)
+        ~name:"a2" ~ov_name ~ov ~seed ~d ~dest:all ~origin:0
+        ~expect_genuine:false;
+    ]
+  in
+  List.concat_map multicast
+    [
+      ("hub", Overlay.hub ~groups:4, [ 1; 3 ]);
+      ("ring", Overlay.ring ~groups:5, [ 2; 4 ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let json_of_mode m =
   Printf.sprintf
@@ -343,6 +458,21 @@ let json_of_cell c =
     (json_of_mode c.reference)
     (c.fast.inter = c.reference.inter)
     (c.fast.degree = c.reference.degree)
+
+let json_of_overlay c =
+  Printf.sprintf
+    "    { \"topology\": \"%s\", \"algorithm\": \"%s\", \"groups\": %d, \
+     \"d\": %d, \"k\": %d,\n\
+    \      \"degree\": %s, \"inter_msgs\": %d, \"link_crossings\": %d, \
+     \"intercontinental_msgs\": %d,\n\
+    \      \"latency_ms\": %s, \"violations\": %d }"
+    c.o_topology c.o_algorithm c.o_groups c.o_d c.o_k
+    (match c.o_degree with Some x -> string_of_int x | None -> "null")
+    c.o_inter_msgs c.o_link_crossings c.o_intercontinental
+    (match c.o_latency_ms with
+    | Some l -> Printf.sprintf "%.1f" l
+    | None -> "null")
+    (List.length c.o_violations)
 
 let json_of_steady s =
   Printf.sprintf
@@ -375,6 +505,7 @@ let () =
     "msgpath_bench: Figure 1 identity + steady-state economy, seed %d\n%!"
     seed;
   let cells = figure_1a_cells ~seed @ figure_1b_cells ~seed in
+  let overlays = overlay_cells ~seed in
   let steadies =
     [
       steady_cell "a1"
@@ -390,6 +521,24 @@ let () =
   let min_ratio =
     List.fold_left (fun acc s -> Float.min acc s.ratio) infinity steadies
   in
+  (* Overlay gates: every overlay cell passes its checks (including
+     overlay genuineness), and on the hub geometry flexcast's hop-by-hop
+     routing crosses strictly fewer inter-continental links per cast than
+     a1's direct sends. *)
+  let overlay_violations =
+    List.fold_left (fun acc c -> acc + List.length c.o_violations) 0 overlays
+  in
+  let intercontinental ~topology ~algorithm =
+    List.find_map
+      (fun c ->
+        if c.o_topology = topology && c.o_algorithm = algorithm then
+          Some c.o_intercontinental
+        else None)
+      overlays
+    |> Option.get
+  in
+  let hub_flexcast = intercontinental ~topology:"hub" ~algorithm:"flexcast" in
+  let hub_a1 = intercontinental ~topology:"hub" ~algorithm:"a1" in
   let buf = Buffer.create 16384 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"amcast-bench-msgpath/v1\",\n";
@@ -404,8 +553,19 @@ let () =
   Buffer.add_string buf
     (String.concat ",\n" (List.map json_of_steady steadies));
   Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"overlay_cells\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map json_of_overlay overlays));
+  Buffer.add_string buf "\n  ],\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"divergent_cells\": %d,\n" (List.length divergent));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"overlay_violations\": %d,\n" overlay_violations);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"hub_intercontinental_flexcast\": %d,\n\
+       \  \"hub_intercontinental_a1\": %d,\n"
+       hub_flexcast hub_a1);
   Buffer.add_string buf
     (Printf.sprintf "  \"min_steady_state_reduction\": %.2f\n"
        (if min_ratio = infinity then 0. else min_ratio));
@@ -430,5 +590,20 @@ let () =
       "msgpath_bench: FAIL — steady-state consensus-message reduction %.2fx \
        < 2x at d >= 3\n"
       min_ratio;
+    exit 1
+  end;
+  if overlay_violations > 0 then begin
+    Printf.eprintf
+      "msgpath_bench: FAIL — %d violation(s) in overlay cells (overlay \
+       genuineness or agreement broken)\n"
+      overlay_violations;
+    exit 1
+  end;
+  if hub_flexcast >= hub_a1 then begin
+    Printf.eprintf
+      "msgpath_bench: FAIL — flexcast crossed %d inter-continental links \
+       per cast on the hub, a1 %d; hop-by-hop routing must be strictly \
+       cheaper\n"
+      hub_flexcast hub_a1;
     exit 1
   end

@@ -23,6 +23,8 @@ type proto =
   | P_via_broadcast
   | P_detmerge
   | P_fritzke
+  | P_whitebox
+  | P_flexcast
 
 let proto_assoc =
   [
@@ -37,6 +39,8 @@ let proto_assoc =
     ("via-broadcast", P_via_broadcast);
     ("detmerge", P_detmerge);
     ("fritzke", P_fritzke);
+    ("whitebox", P_whitebox);
+    ("flexcast", P_flexcast);
   ]
 
 let module_of = function
@@ -51,12 +55,14 @@ let module_of = function
   | P_via_broadcast -> (module Amcast.Via_broadcast)
   | P_detmerge -> (module Amcast.Detmerge)
   | P_fritzke -> (module Amcast.Fritzke)
+  | P_whitebox -> (module Amcast.Whitebox)
+  | P_flexcast -> (module Amcast.Flexcast)
 
 (* Broadcast-only protocols must receive dest = all groups. *)
 let broadcast_only = function
   | P_a2 | P_sequencer | P_optimistic -> true
   | P_a1 | P_skeen | P_generic | P_ring | P_scalable | P_via_broadcast
-  | P_detmerge | P_fritzke ->
+  | P_detmerge | P_fritzke | P_whitebox | P_flexcast ->
     false
 
 (* Protocols that never quiesce need a horizon. *)
@@ -65,13 +71,29 @@ let needs_horizon = function P_detmerge -> true | _ -> false
 let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
     inter_ms intra_ms horizon_ms print_trace print_timeline genuine_check
     heartbeat_fd fast_lanes batch batch_delay_ms pipeline conflict
-    conflict_rate =
+    conflict_rate topology_kind =
   let topo = Topology.symmetric ~groups ~per_group in
+  (* --topology replaces the uniform latency pair with the overlay's
+     routed-path delays and hands the overlay to the protocol config
+     (flexcast routes along it; clique-model protocols just pay the
+     routed latencies). *)
+  let overlay =
+    match topology_kind with
+    | None | Some Overlay.Clique -> None
+    | Some k -> (
+      try Some (Overlay.of_kind k ~groups)
+      with Invalid_argument m ->
+        Fmt.epr "amcast_sim: %s@." m;
+        exit 2)
+  in
   let latency =
-    Latency.uniform
-      ~intra:(Sim_time.of_ms intra_ms)
-      ~inter:(Sim_time.of_ms inter_ms)
-      ()
+    match overlay with
+    | Some ov -> Overlay.to_latency ~intra:(Sim_time.of_ms intra_ms) ov
+    | None ->
+      Latency.uniform
+        ~intra:(Sim_time.of_ms intra_ms)
+        ~inter:(Sim_time.of_ms inter_ms)
+        ()
   in
   if conflict_rate < 0.0 || conflict_rate > 1.0 then (
     Fmt.epr "amcast_sim: --conflict-rate must be in [0, 1]@.";
@@ -139,6 +161,7 @@ let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
       batch_delay = Sim_time.of_ms batch_delay_ms;
       pipeline;
       conflict = conflict_rel;
+      overlay;
     }
   in
   let until =
@@ -174,7 +197,7 @@ let run_cli proto groups per_group messages seed gap_ms poisson kmax crashes
     Harness.Checker.check_all ~expect_genuine:genuine_check
       ?conflict:
         (match conflict with `Total -> None | `Key | `None -> Some conflict_rel)
-      r
+      ?overlay r
   in
   if violations = [] then begin
     Fmt.pr "@.all correctness checks passed.@.";
@@ -198,7 +221,9 @@ let proto_t =
         ~doc:
           "Protocol to run: $(b,a1) (genuine atomic multicast), $(b,a2) \
            (atomic broadcast), $(b,generic) (conflict-aware multicast, see \
-           $(b,--conflict)), or a baseline ($(b,skeen), $(b,ring), \
+           $(b,--conflict)), $(b,whitebox) (leader/convoy genuine \
+           multicast), $(b,flexcast) (overlay-routed genuine multicast, \
+           see $(b,--topology)), or a baseline ($(b,skeen), $(b,ring), \
            $(b,scalable), $(b,sequencer), $(b,optimistic), \
            $(b,via-broadcast), $(b,detmerge), $(b,fritzke)).")
 
@@ -346,6 +371,26 @@ let conflict_rate_t =
           "With $(b,--conflict key): probability in [0, 1] that a cast is \
            a keyed (conflicting) command rather than a commuting one.")
 
+let topology_t =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("clique", Overlay.Clique);
+                ("hub", Overlay.Hub);
+                ("ring", Overlay.Ring);
+                ("tree", Overlay.Tree);
+              ]))
+        None
+    & info [ "topology" ] ~docv:"clique|hub|ring|tree"
+        ~doc:
+          "Overlay geometry over the groups. The latency between two \
+           groups becomes their routed-path delay through the overlay, \
+           and $(b,flexcast) forwards messages hop by hop along it. \
+           Default (and $(b,clique)): the classic full-mesh WAN model.")
+
 let cmd =
   let doc = "simulate atomic broadcast/multicast protocols on a WAN" in
   let info = Cmd.info "amcast_sim" ~doc in
@@ -354,6 +399,7 @@ let cmd =
       const run_cli $ proto_t $ groups_t $ per_group_t $ messages_t $ seed_t
       $ gap_t $ poisson_t $ kmax_t $ crash_t $ inter_t $ intra_t $ horizon_t
       $ trace_t $ timeline_t $ genuine_t $ heartbeat_t $ fast_lanes_t
-      $ batch_t $ batch_delay_t $ pipeline_t $ conflict_t $ conflict_rate_t)
+      $ batch_t $ batch_delay_t $ pipeline_t $ conflict_t $ conflict_rate_t
+      $ topology_t)
 
 let () = exit (Cmd.eval' cmd)

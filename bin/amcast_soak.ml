@@ -12,6 +12,7 @@
    Usage: amcast_soak [--fast-lanes on|off] [--nemesis on|off]
                       [--batch N] [--batch-delay MS] [--pipeline W]
                       [--conflict total|key|none] [--conflict-rate R]
+                      [--topology clique|hub|ring|tree]
                       [RUNS] [SEED] [DOMAINS]
    DOMAINS defaults to 1 (sequential); pass 0 for the recommended domain
    count of this machine. --fast-lanes defaults to "on"; "off" soaks the
@@ -27,7 +28,11 @@
    (conflict-aware) target — "key" draws keyed/commuting payload mixes
    with keyed probability --conflict-rate (default 0.5) and checks the
    relaxed conflict order, "none" makes every cast commute; the
-   total-order targets always keep the full prefix-order check. *)
+   total-order targets always keep the full prefix-order check.
+   --topology (default "clique") runs every campaign over that overlay
+   geometry: latencies become routed-path delays, nemesis partitions
+   follow the overlay's cut edges, flexcast routes along it, and the
+   genuineness checks become overlay-aware. *)
 
 let () =
   let config = ref Amcast.Protocol.Config.default in
@@ -37,6 +42,7 @@ let () =
   let pipeline = ref 1 in
   let conflict_mode = ref `Total in
   let conflict_rate = ref 0.5 in
+  let overlay_kind = ref None in
   let positional = ref [] in
   let int_arg flag value ~min =
     match int_of_string_opt value with
@@ -96,8 +102,19 @@ let () =
       | "--conflict-rate" when i + 1 < Array.length Sys.argv ->
         conflict_rate := rate_arg "--conflict-rate" Sys.argv.(i + 1);
         parse (i + 2)
+      | "--topology" when i + 1 < Array.length Sys.argv ->
+        (match Net.Overlay.kind_of_name Sys.argv.(i + 1) with
+        | Some Net.Overlay.Clique -> overlay_kind := None
+        | Some k -> overlay_kind := Some k
+        | None ->
+          Printf.eprintf
+            "amcast_soak: --topology must be \"clique\", \"hub\", \"ring\" \
+             or \"tree\"\n";
+          exit 2);
+        parse (i + 2)
       | ("--fast-lanes" | "--nemesis" | "--batch" | "--batch-delay"
-        | "--pipeline" | "--conflict" | "--conflict-rate") as flag ->
+        | "--pipeline" | "--conflict" | "--conflict-rate" | "--topology") as
+        flag ->
         Printf.eprintf "amcast_soak: %s needs an argument\n" flag;
         exit 2
       | a ->
@@ -153,8 +170,11 @@ let () =
       ("ring", (module Amcast.Ring), false, false, true, false, true);
       ("scalable", (module Amcast.Scalable), false, false, true, false, true);
       ("sequencer", (module Amcast.Sequencer), true, false, false, false, true);
+      ("whitebox", (module Amcast.Whitebox), false, true, true, false, true);
+      ("flexcast", (module Amcast.Flexcast), false, false, true, false, true);
     ]
   in
+  let overlay_kind = !overlay_kind in
   (* The conflict relation only reaches the generic target's config — the
      total-order targets must keep their full prefix-order check. The
      keyed/commuting workload mix (under --conflict key) applies to every
@@ -191,9 +211,9 @@ let () =
       in
       let summary =
         Harness.Campaign.run_parallel proto ~config
-          ?conflict:workload_conflict ~expect_genuine ~check_causal
-          ~check_quiescence ~broadcast_only ~with_crashes ~with_nemesis
-          ~domains ~seed ~runs ()
+          ?conflict:workload_conflict ?overlay_kind ~expect_genuine
+          ~check_causal ~check_quiescence ~broadcast_only ~with_crashes
+          ~with_nemesis ~domains ~seed ~runs ()
       in
       Fmt.pr "%a@." Harness.Campaign.pp_summary summary;
       if summary.failures <> [] then failed := true)

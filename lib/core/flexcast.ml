@@ -1,0 +1,275 @@
+(* FlexCast-style overlay-routed atomic multicast (see flexcast.mli).
+
+   The delivery machinery (pending table, stamp rows, the (final, id)
+   index and the root-finalised delivery test) is Skeen's, verbatim: the
+   two protocols must produce identical per-pid sequences on a clique
+   overlay, and the differential suite asserts they do. What changes is
+   the message path: Data and Stamp traffic is routed along the overlay,
+   with interior relays timestamping Data in transit. *)
+
+open Net
+open Runtime
+
+let name = "flexcast"
+
+type wire =
+  | Data of { msg : Msg.t; path_ts : int }
+      (* Final hop of dissemination: fans out to an addressee group's
+         members. [path_ts] folds the clocks of the interior relays the
+         message crossed; 0 when the route had none (always on a
+         clique). *)
+  | Fwd of { msg : Msg.t; path_ts : int; targets : Topology.gid list }
+      (* Interior hop: [targets] are the destination groups this branch
+         of the routing tree is responsible for. *)
+  | Stamp of { id : Msg_id.t; ts : int; from : Topology.pid }
+      (* [from] is the stamping addressee — the transport source is a
+         relay when the stamp was routed. *)
+  | Fwd_stamp of {
+      id : Msg_id.t;
+      ts : int;
+      from : Topology.pid;
+      targets : Topology.gid list;
+    }
+
+let tag = function
+  | Data _ -> "flexcast.data"
+  | Fwd _ -> "flexcast.fwd"
+  | Stamp _ -> "flexcast.stamp"
+  | Fwd_stamp _ -> "flexcast.fwdstamp"
+
+type pending = {
+  msg : Msg.t;
+  own_ts : int;
+  stamps : int Slab.Row.t;
+  n_addr : int;
+  mutable stamp_max : int;
+  mutable final : int option;
+  mutable handle : Pending_index.handle;
+}
+
+type t = {
+  services : wire Services.t;
+  deliver : Msg.t -> unit;
+  overlay : Overlay.t;
+  my_group : Topology.gid;
+  mutable clock : int;
+  pending : pending Msg_id.Tbl.t;
+  ord : pending Pending_index.t;
+  delivered : unit Msg_id.Tbl.t;
+  early_stamps : (Topology.pid * int) list Msg_id.Tbl.t;
+  stamp_pool : int Slab.Row.pool;
+  mutable relayed : int; (* Fwd/Fwd_stamp hops this process forwarded *)
+}
+
+let relay_of t g = (Topology.members_array t.services.Services.topology g).(0)
+
+let adjacent t g =
+  g = t.my_group || Overlay.next_hop t.overlay ~src:t.my_group ~dst:g = g
+
+(* Split a set of destination groups by how they are reached from here:
+   direct groups (own or adjacent — their members get the payload
+   straight away, in ascending order, which on a clique is exactly
+   Skeen's pid-ascending fan-out) and forwarding buckets keyed by next
+   hop, ascending. *)
+let routes t dests =
+  let dests = List.sort_uniq Int.compare dests in
+  let direct = List.filter (adjacent t) dests in
+  let buckets = ref [] in
+  List.iter
+    (fun d ->
+      if not (adjacent t d) then begin
+        let nh = Overlay.next_hop t.overlay ~src:t.my_group ~dst:d in
+        match List.assoc_opt nh !buckets with
+        | Some b -> b := d :: !b
+        | None -> buckets := !buckets @ [ (nh, ref [ d ]) ]
+      end)
+    dests;
+  ( direct,
+    List.map (fun (nh, b) -> (nh, List.rev !b)) !buckets
+    |> List.sort (fun (a, _) (b, _) -> compare a b) )
+
+let add_stamp (p : pending) q ts =
+  if not (Slab.Row.mem p.stamps q) then begin
+    Slab.Row.set p.stamps q ts;
+    if ts > p.stamp_max then p.stamp_max <- ts
+  end
+
+(* Identical to Skeen's: a finalised root is deliverable, an unfinalised
+   root blocks (its final is at least its own stamp, the index key). *)
+let delivery_test t =
+  let rec loop () =
+    match Pending_index.min_elt t.ord with
+    | Some (_, _, p) when p.final <> None ->
+      ignore (Pending_index.pop_min t.ord);
+      Slab.Row.release t.stamp_pool p.stamps;
+      Msg_id.Tbl.remove t.pending p.msg.id;
+      Msg_id.Tbl.replace t.delivered p.msg.id ();
+      t.deliver p.msg;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let maybe_finalize t p =
+  if p.final = None then begin
+    if Slab.Row.count p.stamps = p.n_addr then begin
+      let f = p.stamp_max in
+      p.final <- Some f;
+      p.handle <- Pending_index.reposition t.ord p.handle ~ts:f ~id:p.msg.id p;
+      t.clock <- max t.clock f;
+      delivery_test t
+    end
+  end
+
+(* Send my stamp for [m] to every other addressee: directly to the
+   members of own/adjacent destination groups (ascending — Skeen's
+   fan-out order on a clique), routed via the next hop's relay
+   otherwise. *)
+let send_stamps t (m : Msg.t) ts =
+  let direct, buckets = routes t m.dest in
+  List.iter
+    (fun g ->
+      Topology.iter_members t.services.Services.topology g (fun q ->
+          if q <> t.services.Services.self then
+            t.services.Services.send ~dst:q
+              (Stamp { id = m.id; ts; from = t.services.Services.self })))
+    direct;
+  List.iter
+    (fun (nh, targets) ->
+      t.services.Services.send ~dst:(relay_of t nh)
+        (Fwd_stamp
+           { id = m.id; ts; from = t.services.Services.self; targets }))
+    buckets
+
+let on_data t (m : Msg.t) ~path_ts =
+  if
+    (not (Msg_id.Tbl.mem t.pending m.id))
+    && not (Msg_id.Tbl.mem t.delivered m.id)
+  then begin
+    (* [max t.clock path_ts] keeps the stamp above every interior clock
+       crossed on the way here; with [path_ts = 0] (clique) this is
+       Skeen's plain [clock + 1]. *)
+    t.clock <- max t.clock path_ts + 1;
+    let addressees = Msg.dest_pids t.services.Services.topology m in
+    let p =
+      {
+        msg = m;
+        own_ts = t.clock;
+        stamps = Slab.Row.acquire t.stamp_pool;
+        n_addr = List.length addressees;
+        stamp_max = 0;
+        final = None;
+        handle = -1;
+      }
+    in
+    p.handle <- Pending_index.add t.ord ~ts:p.own_ts ~id:m.id p;
+    add_stamp p t.services.Services.self t.clock;
+    (match Msg_id.Tbl.find_opt t.early_stamps m.id with
+    | Some stamps ->
+      List.iter (fun (q, ts) -> add_stamp p q ts) stamps;
+      Msg_id.Tbl.remove t.early_stamps m.id
+    | None -> ());
+    Msg_id.Tbl.replace t.pending m.id p;
+    send_stamps t m t.clock;
+    maybe_finalize t p
+  end
+
+(* Fan a routed payload out from this group: deliver locally when own
+   group is a target, send Data to adjacent targets' members, forward
+   the rest. Interior relays timestamp the message in transit — the
+   clock bump folded into [path_ts]. *)
+let forward_data t (m : Msg.t) ~path_ts targets =
+  let direct, buckets = routes t targets in
+  List.iter
+    (fun g ->
+      if g = t.my_group then
+        Topology.iter_members t.services.Services.topology g (fun q ->
+            if q <> t.services.Services.self then
+              t.services.Services.send ~dst:q (Data { msg = m; path_ts }))
+      else
+        Topology.iter_members t.services.Services.topology g (fun q ->
+            t.services.Services.send ~dst:q (Data { msg = m; path_ts })))
+    direct;
+  List.iter
+    (fun (nh, targets) ->
+      t.relayed <- t.relayed + 1;
+      t.services.Services.send ~dst:(relay_of t nh)
+        (Fwd { msg = m; path_ts; targets }))
+    buckets;
+  if List.mem t.my_group direct then on_data t m ~path_ts
+
+let cast t (m : Msg.t) = forward_data t m ~path_ts:0 m.dest
+
+(* An interior relay receiving a Fwd: timestamp the transit, then fan
+   out/forward. Only reached on non-clique overlays. *)
+let on_fwd t (m : Msg.t) ~path_ts targets =
+  t.clock <- t.clock + 1;
+  let path_ts = max path_ts t.clock in
+  forward_data t m ~path_ts targets
+
+let on_stamp t ~from ~ts id =
+  t.clock <- max t.clock ts;
+  (match Msg_id.Tbl.find_opt t.pending id with
+  | Some p ->
+    add_stamp p from ts;
+    maybe_finalize t p
+  | None ->
+    if not (Msg_id.Tbl.mem t.delivered id) then begin
+      let prev =
+        Option.value ~default:[] (Msg_id.Tbl.find_opt t.early_stamps id)
+      in
+      Msg_id.Tbl.replace t.early_stamps id ((from, ts) :: prev)
+    end);
+  delivery_test t
+
+(* Stamps are forwarded unmodified: every addressee must fold the same
+   stamp values into its final maximum, whatever route they took. *)
+let on_fwd_stamp t ~from ~ts id targets =
+  let direct, buckets = routes t targets in
+  List.iter
+    (fun g ->
+      Topology.iter_members t.services.Services.topology g (fun q ->
+          if q <> t.services.Services.self then
+            t.services.Services.send ~dst:q (Stamp { id; ts; from })))
+    direct;
+  List.iter
+    (fun (nh, targets) ->
+      t.relayed <- t.relayed + 1;
+      t.services.Services.send ~dst:(relay_of t nh)
+        (Fwd_stamp { id; ts; from; targets }))
+    buckets;
+  if List.mem t.my_group direct then on_stamp t ~from ~ts id
+
+let on_receive t ~src:_ w =
+  match w with
+  | Data { msg; path_ts } -> on_data t msg ~path_ts
+  | Fwd { msg; path_ts; targets } -> on_fwd t msg ~path_ts targets
+  | Stamp { id; ts; from } -> on_stamp t ~from ~ts id
+  | Fwd_stamp { id; ts; from; targets } -> on_fwd_stamp t ~from ~ts id targets
+
+let create ~services ~config ~deliver =
+  let topo = services.Services.topology in
+  let overlay =
+    match config.Protocol.Config.overlay with
+    | Some o ->
+      Overlay.check_topology o topo;
+      o
+    | None -> Overlay.clique ~groups:(Topology.n_groups topo)
+  in
+  {
+    services;
+    deliver;
+    overlay;
+    my_group = Services.my_group services;
+    clock = 0;
+    pending = Msg_id.Tbl.create 32;
+    ord = Pending_index.create ();
+    delivered = Msg_id.Tbl.create 32;
+    early_stamps = Msg_id.Tbl.create 8;
+    stamp_pool =
+      Slab.Row.pool ~width:(Topology.n_processes topo) ~default:0;
+    relayed = 0;
+  }
+
+let pending_count t = Msg_id.Tbl.length t.pending
+let stats t = if t.relayed = 0 then [] else [ ("relayed_hops", t.relayed) ]

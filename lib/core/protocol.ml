@@ -39,6 +39,13 @@ module Config = struct
            which message pairs must be delivered in a consistent relative
            order. Conflict.total (the default) recovers classic total
            order; total-order protocols ignore this field. *)
+    overlay : Net.Overlay.t option;
+        (* The WAN overlay the deployment runs on. None (the default)
+           means the classic clique model. The overlay-routed protocols
+           (flexcast) read it to derive routes; the clique-model
+           protocols ignore it — deploy them over
+           [Net.Overlay.to_latency] so their direct sends pay the
+           routed-path delay. *)
   }
 
   let default =
@@ -58,6 +65,7 @@ module Config = struct
       batch_delay = Des.Sim_time.of_ms 2;
       pipeline = 1;
       conflict = Conflict.total;
+      overlay = None;
     }
 
   let reference = { default with fast_lanes = false }

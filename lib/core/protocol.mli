@@ -105,6 +105,13 @@ module Config : sig
             relative order by common addressees. {!Conflict.total} (the
             default) makes every pair conflict — classic total order.
             Total-order protocols ignore this field. *)
+    overlay : Net.Overlay.t option;
+        (** The WAN overlay the deployment runs on; [None] (the default)
+            is the classic clique model. The overlay-routed protocols
+            ({!Flexcast}) read it to route dissemination and stamps; the
+            clique-model protocols ignore it and should be deployed over
+            {!Net.Overlay.to_latency} so their direct sends pay the
+            routed-path delay. *)
   }
 
   val default : t

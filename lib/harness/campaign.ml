@@ -106,18 +106,43 @@ let sum_retained lists =
   Hashtbl.fold (fun label n acc -> (label, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let run_one (module P : Amcast.Protocol.S) ?config ?conflict
+let run_one (module P : Amcast.Protocol.S) ?config ?conflict ?overlay_kind
     ?(expect_genuine = false) ?(check_causal = false)
     ?(check_quiescence = false) s =
   let module R = Runner.Make (P) in
-  let topo = Topology.symmetric ~groups:s.groups ~per_group:s.per_group in
-  let latency = if s.jitter then Latency.wan_default else Latency.lan_only in
+  (* Overlay campaigns keep the scenario stream but may bump the group
+     count to the geometry's minimum (a ring needs a cycle). *)
+  let groups =
+    match overlay_kind with
+    | Some Overlay.Ring -> max 3 s.groups
+    | _ -> s.groups
+  in
+  let topo = Topology.symmetric ~groups ~per_group:s.per_group in
+  let overlay = Option.map (fun k -> Overlay.of_kind k ~groups) overlay_kind in
+  (* On an overlay the latency model is derived from it — every direct
+     send pays its routed-path delay — with jitter scaled to the
+     scenario's flag. Without one, the classic clique models. *)
+  let latency =
+    match overlay with
+    | Some ov ->
+      Overlay.to_latency
+        ~jitter:(if s.jitter then Sim_time.of_ms 2 else Sim_time.zero)
+        ov
+    | None -> if s.jitter then Latency.wan_default else Latency.lan_only
+  in
+  let config =
+    match overlay with
+    | None -> config
+    | Some ov ->
+      let base = Option.value ~default:Amcast.Protocol.Config.default config in
+      Some { base with Amcast.Protocol.Config.overlay = Some ov }
+  in
   let rng = Rng.create (s.seed + 1) in
   let workload =
     Workload.generate ~rng ~topology:topo ~n:s.n_msgs
       ~dest:
         (if s.broadcast_only then Workload.To_all_groups
-         else Workload.Random_groups s.groups)
+         else Workload.Random_groups groups)
       ~arrival:(`Poisson (Sim_time.of_ms 25))
       ?conflict ()
   in
@@ -131,7 +156,7 @@ let run_one (module P : Amcast.Protocol.S) ?config ?conflict
       Some
         (Nemesis.generate
            ~rng:(Rng.create (s.seed + 7919))
-           ~topology:topo ~with_crashes:s.with_crashes ())
+           ~topology:topo ~with_crashes:s.with_crashes ?overlay ())
   in
   let faults = if s.nemesis then [] else faults_for s topo in
   let dep = R.deploy ~seed:s.seed ~latency ?config ~faults ?nemesis topo in
@@ -159,7 +184,7 @@ let run_one (module P : Amcast.Protocol.S) ?config ?conflict
         ~expect_genuine:(expect_genuine && not s.with_crashes)
         ~check_causal ~check_quiescence
         ?liveness_from:(Option.map Nemesis.liveness_from nemesis)
-        ?conflict:order_conflict r;
+        ?conflict:order_conflict ?overlay r;
     delivered = Metrics.delivered_count r;
     max_degree = Metrics.max_latency_degree r;
     drained = r.drained;
@@ -181,40 +206,40 @@ let summarize outcomes =
     retained_total = sum_retained (List.map (fun o -> o.retained) outcomes);
   }
 
-let run_scenarios proto ?config ?conflict ?expect_genuine ?check_causal
-    ?check_quiescence ss =
+let run_scenarios proto ?config ?conflict ?overlay_kind ?expect_genuine
+    ?check_causal ?check_quiescence ss =
   List.map
-    (run_one proto ?config ?conflict ?expect_genuine ?check_causal
-       ?check_quiescence)
+    (run_one proto ?config ?conflict ?overlay_kind ?expect_genuine
+       ?check_causal ?check_quiescence)
     ss
 
 (* Each scenario owns its seed, so runs are independent; the pool writes
    outcome [i] at index [i], so the outcome list — and therefore the
    summary — is bit-identical to the sequential driver's for any domain
    count. *)
-let run_scenarios_parallel proto ?config ?conflict ?expect_genuine
-    ?check_causal ?check_quiescence ?domains ss =
+let run_scenarios_parallel proto ?config ?conflict ?overlay_kind
+    ?expect_genuine ?check_causal ?check_quiescence ?domains ss =
   Pool.map ?domains
     (fun s ->
-      run_one proto ?config ?conflict ?expect_genuine ?check_causal
-        ?check_quiescence s)
+      run_one proto ?config ?conflict ?overlay_kind ?expect_genuine
+        ?check_causal ?check_quiescence s)
     (Array.of_list ss)
   |> Array.to_list
 
-let run proto ?config ?conflict ?expect_genuine ?check_causal
+let run proto ?config ?conflict ?overlay_kind ?expect_genuine ?check_causal
     ?check_quiescence ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs
     () =
   scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs ()
-  |> run_scenarios proto ?config ?conflict ?expect_genuine ?check_causal
-       ?check_quiescence
+  |> run_scenarios proto ?config ?conflict ?overlay_kind ?expect_genuine
+       ?check_causal ?check_quiescence
   |> summarize
 
-let run_parallel proto ?config ?conflict ?expect_genuine ?check_causal
-    ?check_quiescence ?broadcast_only ?with_crashes ?with_nemesis ?domains
-    ~seed ~runs () =
+let run_parallel proto ?config ?conflict ?overlay_kind ?expect_genuine
+    ?check_causal ?check_quiescence ?broadcast_only ?with_crashes
+    ?with_nemesis ?domains ~seed ~runs () =
   scenarios ?broadcast_only ?with_crashes ?with_nemesis ~seed ~runs ()
-  |> run_scenarios_parallel proto ?config ?conflict ?expect_genuine
-       ?check_causal ?check_quiescence ?domains
+  |> run_scenarios_parallel proto ?config ?conflict ?overlay_kind
+       ?expect_genuine ?check_causal ?check_quiescence ?domains
   |> summarize
 
 (* Fully sharded driver: nothing is materialised up front — the domain
@@ -222,12 +247,12 @@ let run_parallel proto ?config ?conflict ?expect_genuine ?check_causal
    it, so the coordinating domain does O(1) work per run instead of
    generating [runs] scenarios serially. Outcome [i] still lands at index
    [i], so the summary is bit-identical to [run] at every domain count. *)
-let run_sharded proto ?config ?conflict ?expect_genuine ?check_causal
-    ?check_quiescence ?broadcast_only ?with_crashes ?with_nemesis ?domains
-    ~seed ~runs () =
+let run_sharded proto ?config ?conflict ?overlay_kind ?expect_genuine
+    ?check_causal ?check_quiescence ?broadcast_only ?with_crashes
+    ?with_nemesis ?domains ~seed ~runs () =
   Pool.tabulate ?domains runs (fun i ->
-      run_one proto ?config ?conflict ?expect_genuine ?check_causal
-        ?check_quiescence
+      run_one proto ?config ?conflict ?overlay_kind ?expect_genuine
+        ?check_causal ?check_quiescence
         (scenario_at ?broadcast_only ?with_crashes ?with_nemesis ~seed i))
   |> Array.to_list |> summarize
 

@@ -94,6 +94,7 @@ val run_one :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
   ?conflict:Workload.conflict_spec ->
+  ?overlay_kind:Net.Overlay.kind ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -105,12 +106,23 @@ val run_one :
     [config] carries a non-[Total] conflict relation the ordering check
     becomes {!Checker.conflict_order} under that relation — what a
     generic-multicast deployment owes — instead of the total-order prefix
-    check. *)
+    check.
+
+    [overlay_kind] runs the scenario over that {!Net.Overlay} geometry
+    instead of the clique: the group count is bumped to the geometry's
+    minimum if needed (a ring needs three groups), the latency model is
+    derived from the overlay's routed path delays
+    ({!Net.Overlay.to_latency}), the protocol config carries the overlay
+    (FlexCast routes along it; clique-model protocols ignore it), nemesis
+    partitions follow the overlay's cut edges, and the genuineness check
+    becomes overlay-aware. Omitted, everything is bit-identical to older
+    campaigns. *)
 
 val run_scenarios :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
   ?conflict:Workload.conflict_spec ->
+  ?overlay_kind:Net.Overlay.kind ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -122,6 +134,7 @@ val run_scenarios_parallel :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
   ?conflict:Workload.conflict_spec ->
+  ?overlay_kind:Net.Overlay.kind ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -137,6 +150,7 @@ val run :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
   ?conflict:Workload.conflict_spec ->
+  ?overlay_kind:Net.Overlay.kind ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -152,6 +166,7 @@ val run_parallel :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
   ?conflict:Workload.conflict_spec ->
+  ?overlay_kind:Net.Overlay.kind ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->
@@ -172,6 +187,7 @@ val run_sharded :
   (module Amcast.Protocol.S) ->
   ?config:Amcast.Protocol.Config.t ->
   ?conflict:Workload.conflict_spec ->
+  ?overlay_kind:Net.Overlay.kind ->
   ?expect_genuine:bool ->
   ?check_causal:bool ->
   ?check_quiescence:bool ->

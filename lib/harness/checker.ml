@@ -255,14 +255,27 @@ module Reference = struct
     pairs msgs;
     List.rev !violations
 
-  let genuineness (r : Run_result.t) =
+  let genuineness ?overlay (r : Run_result.t) =
     let allowed =
       List.fold_left
         (fun acc (c : Run_result.cast_event) ->
-          List.fold_left
-            (fun acc p -> p :: acc)
-            (c.origin :: acc)
-            (Amcast.Msg.dest_pids r.topology c.msg))
+          let acc =
+            List.fold_left
+              (fun acc p -> p :: acc)
+              (c.origin :: acc)
+              (Amcast.Msg.dest_pids r.topology c.msg)
+          in
+          match overlay with
+          | None -> acc
+          | Some ov ->
+            (* Overlay-genuine runs may additionally use the relays (the
+               lowest pid) of the groups on the routing paths. *)
+            let src = Topology.group_of r.topology c.origin in
+            List.fold_left
+              (fun acc g ->
+                (Topology.members_array r.topology g).(0) :: acc)
+              acc
+              (Overlay.participants ov ~src ~dsts:c.msg.Amcast.Msg.dest))
         [] r.casts
       |> List.sort_uniq Int.compare
     in
@@ -507,15 +520,27 @@ let conflict_order ~conflict (r : Run_result.t) =
   if !violated then Reference.conflict_order ~conflict r else []
 
 (* Indexed genuineness: the allowed set as a per-pid bool array, so each
-   trace entry costs O(1) instead of a List.mem over the allowed list. *)
-let genuineness (r : Run_result.t) =
+   trace entry costs O(1) instead of a List.mem over the allowed list.
+   [overlay] widens the set to overlay genuineness: the relays (lowest
+   pid) of every group on the cast's routing paths —
+   {!Net.Overlay.participants}, i.e. origin-to-destination routes plus
+   destination-pair stamp routes — may also take part. Groups off those
+   paths must stay silent. *)
+let genuineness ?overlay (r : Run_result.t) =
   let allowed = Array.make (Topology.n_processes r.topology) false in
   List.iter
     (fun (c : Run_result.cast_event) ->
       allowed.(c.origin) <- true;
       List.iter
         (fun p -> allowed.(p) <- true)
-        (Amcast.Msg.dest_pids r.topology c.msg))
+        (Amcast.Msg.dest_pids r.topology c.msg);
+      match overlay with
+      | None -> ()
+      | Some ov ->
+        let src = Topology.group_of r.topology c.origin in
+        List.iter
+          (fun g -> allowed.((Topology.members_array r.topology g).(0)) <- true)
+          (Overlay.participants ov ~src ~dsts:c.msg.Amcast.Msg.dest))
     r.casts;
   let check pid role time acc =
     if allowed.(pid) then acc
@@ -589,7 +614,7 @@ let quiescence (r : Run_result.t) =
 
 let check_all ?(expect_genuine = false) ?(check_causal = false)
     ?(check_quiescence = false) ?(liveness_from = Des.Sim_time.zero) ?conflict
-    r =
+    ?overlay r =
   (* Safety (integrity, prefix order, genuineness, causal order) is owed at
      every instant of every run, faults or not. Liveness (validity,
      agreement, quiescence) is only owed once the fault plan is over: a run
@@ -609,6 +634,6 @@ let check_all ?(expect_genuine = false) ?(check_causal = false)
   @ (if liveness_due then validity r else [])
   @ (if liveness_due then uniform_agreement r else [])
   @ order_violations
-  @ (if expect_genuine then genuineness r else [])
+  @ (if expect_genuine then genuineness ?overlay r else [])
   @ (if check_causal then causal_delivery_order r else [])
   @ if check_quiescence && liveness_due then quiescence r else []

@@ -44,11 +44,17 @@ val conflict_order : conflict:Amcast.Conflict.t -> Run_result.t -> violation lis
     earlier instant; with [Conflict.total] it flags exactly the runs the
     prefix check flags (the violation strings differ). *)
 
-val genuineness : Run_result.t -> violation list
+val genuineness : ?overlay:Net.Overlay.t -> Run_result.t -> violation list
 (** Only addressees and casters take part: every process that appears as
     the source or destination of any network send must be the caster or an
     addressee of some cast message. (Prop. 3.2's premise; holds for A1 and
-    trivially fails for broadcast-based multicast.) *)
+    trivially fails for broadcast-based multicast.)
+
+    [overlay] relaxes the property to {e overlay genuineness} (FlexCast's
+    guarantee): for each cast, the relays — the lowest pid — of the groups
+    on its routing paths ({!Net.Overlay.participants}: origin-to-
+    destination routes plus destination-pair stamp routes) are also
+    allowed. Groups off those paths must still be completely silent. *)
 
 val quiescence : Run_result.t -> violation list
 (** The run drained: after finitely many casts the deployment stopped
@@ -71,6 +77,7 @@ val check_all :
   ?check_quiescence:bool ->
   ?liveness_from:Des.Sim_time.t ->
   ?conflict:Amcast.Conflict.t ->
+  ?overlay:Net.Overlay.t ->
   Run_result.t ->
   violation list
 (** Integrity + validity + agreement + prefix order, plus genuineness when
@@ -83,6 +90,9 @@ val check_all :
     {!Amcast.Conflict.Total}, the total-order prefix check (byte-identical
     verdicts either way); any other relation, the relaxed
     {!conflict_order} check — what a generic-multicast deployment owes.
+
+    [overlay] makes the genuineness check overlay-aware (see
+    {!genuineness}); it only matters when [expect_genuine] is set.
 
     [liveness_from] (default {!Des.Sim_time.zero}) is the safety/liveness
     split for runs under a fault plan: the liveness checks — validity,
@@ -105,6 +115,6 @@ module Reference : sig
   val conflict_order :
     conflict:Amcast.Conflict.t -> Run_result.t -> violation list
 
-  val genuineness : Run_result.t -> violation list
+  val genuineness : ?overlay:Net.Overlay.t -> Run_result.t -> violation list
   val causal_delivery_order : Run_result.t -> violation list
 end

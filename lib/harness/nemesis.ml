@@ -88,7 +88,10 @@ let apply t eng =
    topology shape. Times are scaled to [horizon] so small smoke plans and
    long soak plans share one recipe. *)
 let generate ~rng ~topology ?(with_crashes = true) ?(with_storms = true)
-    ?(horizon = Sim_time.of_ms 400) () =
+    ?overlay ?(horizon = Sim_time.of_ms 400) () =
+  (match overlay with
+  | Some ov -> Net.Overlay.check_topology ov topology
+  | None -> ());
   let h = Sim_time.to_us horizon in
   let h = max h 10_000 in
   let groups = Topology.all_groups topology in
@@ -96,19 +99,37 @@ let generate ~rng ~topology ?(with_crashes = true) ?(with_storms = true)
   let steps = ref [] in
   let push at action = steps := { at = Sim_time.of_us at; action } :: !steps in
   (* Partition/heal windows: only meaningful across groups. Each window
-     cuts a random non-trivial group split, then heals everything. *)
+     cuts a random non-trivial group split, then heals everything. Over
+     an overlay with bridges the splits follow its cut edges — the
+     partitions a real hub/tree deployment actually suffers (severing a
+     spoke severs everything behind it); the window count scales with
+     how many bridges there are to exercise. Bridgeless overlays (rings,
+     cliques) keep the random group splits. *)
   if m >= 2 then begin
-    let windows = 1 + Rng.int rng 2 in
+    let cuts = match overlay with Some ov -> Net.Overlay.cut_edges ov | None -> [] in
+    let windows =
+      1 + Rng.int rng (match cuts with [] -> 2 | c -> max 2 (List.length c))
+    in
     for _ = 1 to windows do
-      let k = 1 + Rng.int rng (m - 1) in
-      let side_a = Rng.sample_without_replacement rng k groups in
-      let side_b =
-        List.filter (fun g -> not (List.mem g side_a)) groups
-      in
-      let start = 1_000 + Rng.int rng (h * 3 / 4) in
-      let len = (h / 20) + Rng.int rng (h * 3 / 8) in
-      push start (Partition { side_a; side_b });
-      push (start + len) Heal_all
+      (match cuts with
+      | [] ->
+        let k = 1 + Rng.int rng (m - 1) in
+        let side_a = Rng.sample_without_replacement rng k groups in
+        let side_b =
+          List.filter (fun g -> not (List.mem g side_a)) groups
+        in
+        let start = 1_000 + Rng.int rng (h * 3 / 4) in
+        let len = (h / 20) + Rng.int rng (h * 3 / 8) in
+        push start (Partition { side_a; side_b });
+        push (start + len) Heal_all
+      | cuts ->
+        let ov = Option.get overlay in
+        let cut = List.nth cuts (Rng.int rng (List.length cuts)) in
+        let side_a, side_b = Net.Overlay.side_of_cut ov ~cut in
+        let start = 1_000 + Rng.int rng (h * 3 / 4) in
+        let len = (h / 20) + Rng.int rng (h * 3 / 8) in
+        push start (Partition { side_a; side_b });
+        push (start + len) Heal_all)
     done
   end;
   (* Latency spikes: factor in [2, 8), window sized to the horizon. *)

@@ -79,6 +79,7 @@ val generate :
   topology:Topology.t ->
   ?with_crashes:bool ->
   ?with_storms:bool ->
+  ?overlay:Overlay.t ->
   ?horizon:Sim_time.t ->
   unit ->
   t
@@ -90,6 +91,15 @@ val generate :
     each group with random drop specs, so group consensus stays live.
     Every action lands within [horizon] (default 400ms) and a terminal
     [Heal_all] strictly after every other step closes the plan. The same
-    [rng] state yields the same plan. *)
+    [rng] state yields the same plan.
+
+    [overlay] makes the partition windows overlay-aware: when the overlay
+    has bridges ({!Net.Overlay.cut_edges}), every window severs one
+    random bridge and partitions the two group sets it separates — the
+    faults a hub/tree geometry actually suffers — and the window count
+    scales with the number of bridges. Bridgeless overlays (rings,
+    cliques) fall back to the random splits.
+    @raise Invalid_argument if the overlay's group count differs from
+    the topology's. *)
 
 val pp : Format.formatter -> t -> unit

@@ -47,7 +47,20 @@ let zipf_index ~rng ~theta n =
 
 let pick_dest ~rng ~topology = function
   | To_all_groups -> Topology.all_groups topology
-  | Fixed_groups gs -> gs
+  | Fixed_groups [] ->
+    invalid_arg "Workload: Fixed_groups requires a non-empty group list"
+  | Fixed_groups gs ->
+    let m = Topology.n_groups topology in
+    List.iter
+      (fun g ->
+        if g < 0 || g >= m then
+          invalid_arg
+            (Fmt.str
+               "Workload: Fixed_groups includes group %d, outside the \
+                topology's %d groups"
+               g m))
+      gs;
+    gs
   | Random_groups k ->
     let m = Topology.n_groups topology in
     let k = max 1 (min k m) in

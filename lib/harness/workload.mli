@@ -37,6 +37,10 @@ type dest_kind =
   | Random_groups of int
       (** A uniformly random non-empty subset of at most [k] groups. *)
   | Fixed_groups of Net.Topology.gid list
+      (** Every cast goes to exactly these groups. {!generate} raises
+          [Invalid_argument] if the list is empty or names a group outside
+          the topology — destination sets must stay inside the deployment
+          whatever overlay it runs on. *)
   | Zipfian_groups of { kmax : int; theta : float }
       (** Placement skew: a non-empty subset of at most [kmax] groups,
           drawn (distinct) with Zipf([theta]) popularity over group rank —

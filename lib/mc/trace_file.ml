@@ -7,6 +7,7 @@ type t = {
   intra_us : int;
   inter_us : int;
   config : string;
+  overlay : Net.Overlay.kind option;
   spurious_timers : int;
   reorder_bound : int;
   casts : (int * int * int list * string) list;
@@ -17,9 +18,9 @@ type t = {
 }
 
 let make ?(seed = 0) ?(intra_us = 1_000) ?(inter_us = 50_000)
-    ?(config = "default") ?(spurious_timers = 0) ?(reorder_bound = max_int)
-    ?(casts = []) ?(faults = []) ?mutation ?(choices = []) ?(note = "")
-    ~protocol ~sizes () =
+    ?(config = "default") ?overlay ?(spurious_timers = 0)
+    ?(reorder_bound = max_int) ?(casts = []) ?(faults = []) ?mutation
+    ?(choices = []) ?(note = "") ~protocol ~sizes () =
   {
     protocol;
     sizes;
@@ -27,6 +28,7 @@ let make ?(seed = 0) ?(intra_us = 1_000) ?(inter_us = 50_000)
     intra_us;
     inter_us;
     config;
+    overlay;
     spurious_timers;
     reorder_bound;
     casts;
@@ -48,6 +50,9 @@ let to_string t =
   line "seed %d" t.seed;
   line "latency %d %d" t.intra_us t.inter_us;
   line "config %s" t.config;
+  (match t.overlay with
+  | Some k -> line "overlay %s" (Net.Overlay.kind_name k)
+  | None -> ());
   line "spurious %d" t.spurious_timers;
   if t.reorder_bound <> max_int then line "reorder %d" t.reorder_bound;
   List.iter
@@ -98,6 +103,7 @@ let of_string s =
     let intra_us = ref 1_000 in
     let inter_us = ref 50_000 in
     let config = ref "default" in
+    let overlay = ref None in
     let spurious = ref 0 in
     let reorder = ref max_int in
     let casts = ref [] in
@@ -120,6 +126,10 @@ let of_string s =
               inter_us := int_field "latency" b
             | _ -> fail "bad latency line %S" line)
           | "config" -> config := String.trim rest
+          | "overlay" -> (
+            match Net.Overlay.kind_of_name (String.trim rest) with
+            | Some k -> overlay := Some k
+            | None -> fail "unknown overlay kind %S" (String.trim rest))
           | "spurious" -> spurious := int_field "spurious" rest
           | "reorder" -> reorder := int_field "reorder" rest
           | "cast" -> (
@@ -158,6 +168,7 @@ let of_string s =
           intra_us = !intra_us;
           inter_us = !inter_us;
           config = !config;
+          overlay = !overlay;
           spurious_timers = !spurious;
           reorder_bound = !reorder;
           casts = List.rev !casts;
@@ -198,6 +209,8 @@ let protocols : (string * (module Amcast.Protocol.S)) list =
     ("sequencer", (module Amcast.Sequencer));
     ("optimistic", (module Amcast.Optimistic));
     ("detmerge", (module Amcast.Detmerge));
+    ("whitebox", (module Amcast.Whitebox));
+    ("flexcast", (module Amcast.Flexcast));
   ]
 
 let config_of_name = function
@@ -234,11 +247,29 @@ let replay ?max_steps t =
       in
       let module E = Explorer.Make (P) in
       let topology = Net.Topology.make ~sizes:t.sizes in
+      (* An overlay line replaces the uniform latency pair with the
+         geometry's routed-path delays and hands the overlay to the
+         protocol config (FlexCast routes along it); without one the
+         classic clique replay is byte-identical to older traces. *)
+      let overlay =
+        Option.map
+          (fun k -> Net.Overlay.of_kind k ~groups:(List.length t.sizes))
+          t.overlay
+      in
       let latency =
-        Net.Latency.uniform
-          ~intra:(Sim_time.of_us t.intra_us)
-          ~inter:(Sim_time.of_us t.inter_us)
-          ()
+        match overlay with
+        | Some ov ->
+          Net.Overlay.to_latency ~intra:(Sim_time.of_us t.intra_us) ov
+        | None ->
+          Net.Latency.uniform
+            ~intra:(Sim_time.of_us t.intra_us)
+            ~inter:(Sim_time.of_us t.inter_us)
+            ()
+      in
+      let config =
+        match overlay with
+        | None -> config
+        | Some ov -> { config with Amcast.Protocol.Config.overlay = Some ov }
       in
       let workload =
         List.map
@@ -262,4 +293,4 @@ let replay ?max_steps t =
         | Amcast.Conflict.Total -> None
         | c -> Some c
       in
-      Ok (r, Harness.Checker.check_all ?conflict:order_conflict r))
+      Ok (r, Harness.Checker.check_all ?conflict:order_conflict ?overlay r))

@@ -30,6 +30,13 @@ type t = {
   intra_us : int;  (** Intra-group latency, microseconds, no jitter. *)
   inter_us : int;  (** Inter-group latency, microseconds, no jitter. *)
   config : string;  (** Config preset: "default" | "reference" | "fritzke". *)
+  overlay : Net.Overlay.kind option;
+      (** Overlay geometry ([overlay hub] line; absent = clique model,
+          byte-identical to older traces). On replay the latency matrix
+          becomes the overlay's routed-path delays
+          ({!Net.Overlay.to_latency}, built over [sizes]'s group count at
+          [intra_us]) and the protocol config carries the overlay, so
+          FlexCast traces reproduce their routing bit-identically. *)
   spurious_timers : int;  (** {!Drive} budget. *)
   reorder_bound : int;
       (** {!Drive}'s delay bound; [max_int] (the default) means unlimited
@@ -47,6 +54,7 @@ val make :
   ?intra_us:int ->
   ?inter_us:int ->
   ?config:string ->
+  ?overlay:Net.Overlay.kind ->
   ?spurious_timers:int ->
   ?reorder_bound:int ->
   ?casts:(int * int * int list * string) list ->

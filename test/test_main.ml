@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "amcast_wan"
-    (Test_des.suites @ Test_net.suites @ Test_runtime.suites
+    (Test_des.suites @ Test_net.suites @ Test_overlay.suites
+   @ Test_runtime.suites
    @ Test_fd.suites @ Test_consensus.suites @ Test_rmcast.suites
    @ Test_a1.suites @ Test_a2.suites @ Test_baselines.suites
    @ Test_partitions.suites @ Test_rsm.suites @ Test_harness.suites

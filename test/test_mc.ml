@@ -14,6 +14,8 @@ module EA2 = Explorer.Make (Amcast.A2)
 module EFz = Explorer.Make (Amcast.Fritzke)
 module EVb = Explorer.Make (Amcast.Via_broadcast)
 module EOpt = Explorer.Make (Amcast.Optimistic)
+module EWb = Explorer.Make (Amcast.Whitebox)
+module EFx = Explorer.Make (Amcast.Flexcast)
 
 (* ---------- exhaustive exploration ---------- *)
 
@@ -78,6 +80,90 @@ let test_optimistic_1x2 () =
   Alcotest.(check bool) "exhaustive" true o.EOpt.stats.EOpt.exhaustive;
   Alcotest.(check bool) "clean" true (o.EOpt.violation = None);
   Alcotest.(check int) "uniform outcome" 1 (List.length o.EOpt.outcome_digests)
+
+(* ---------- the modern baselines: whitebox and flexcast ---------- *)
+
+(* Whitebox runs the full consensus machinery per group, so the naive
+   search needs a delay bound to stay small; the POR search must still
+   cover every terminal outcome the naive one reaches. *)
+let test_whitebox_por_vs_naive () =
+  let s =
+    EWb.make_setup ~reorder_bound:2 ~topology:(topo [ 1; 1 ])
+      [ cast 1_000 0 [ 0; 1 ] "m0" ]
+  in
+  let p = EWb.explore s in
+  let n = EWb.explore ~opts:{ EWb.default_opts with EWb.por = false } s in
+  Alcotest.(check bool) "por exhaustive" true p.EWb.stats.EWb.exhaustive;
+  Alcotest.(check bool) "naive exhaustive" true n.EWb.stats.EWb.exhaustive;
+  Alcotest.(check int) "por interleavings" 11 p.EWb.stats.EWb.interleavings;
+  Alcotest.(check int) "naive interleavings" 99 n.EWb.stats.EWb.interleavings;
+  Alcotest.(check bool) "por reduction at least 5x" true
+    (n.EWb.stats.EWb.interleavings >= 5 * p.EWb.stats.EWb.interleavings);
+  Alcotest.(check (list int)) "same outcomes" n.EWb.outcome_digests p.EWb.outcome_digests;
+  Alcotest.(check int) "uniform outcome" 1 (List.length p.EWb.outcome_digests);
+  Alcotest.(check bool) "clean" true (p.EWb.violation = None)
+
+(* The acceptance configuration: 2 groups x 2 processes, 2 global casts,
+   exhaustively enumerated under a delay bound of 1. Every schedule ends
+   in the same per-process delivery sequences: the convoy timestamps make
+   the global order schedule-independent here. *)
+let test_whitebox_2x2_exhaustive () =
+  let s =
+    EWb.make_setup ~reorder_bound:1 ~topology:(topo [ 2; 2 ])
+      [ cast 1_000 0 [ 0; 1 ] "m0"; cast 2_000 2 [ 0; 1 ] "m1" ]
+  in
+  let o = EWb.explore s in
+  Alcotest.(check bool) "exhaustive" true o.EWb.stats.EWb.exhaustive;
+  Alcotest.(check int) "interleavings" 16 o.EWb.stats.EWb.interleavings;
+  Alcotest.(check int) "uniform outcome" 1 (List.length o.EWb.outcome_digests);
+  Alcotest.(check bool) "clean" true (o.EWb.violation = None)
+
+let test_flexcast_por_vs_naive () =
+  let s = EFx.make_setup ~topology:(topo [ 1; 1 ]) [ cast 1_000 0 [ 0; 1 ] "m0" ] in
+  let p = EFx.explore s in
+  let n = EFx.explore ~opts:{ EFx.default_opts with EFx.por = false } s in
+  Alcotest.(check bool) "por exhaustive" true p.EFx.stats.EFx.exhaustive;
+  Alcotest.(check bool) "naive exhaustive" true n.EFx.stats.EFx.exhaustive;
+  Alcotest.(check (list int)) "same outcomes" n.EFx.outcome_digests p.EFx.outcome_digests;
+  Alcotest.(check int) "uniform outcome" 1 (List.length p.EFx.outcome_digests);
+  Alcotest.(check bool) "clean" true (p.EFx.violation = None)
+
+(* On a clique with concurrent casts the Skeen-style timestamps are
+   arrival-order dependent, so different schedules legitimately settle on
+   different (internally consistent) global orders: two distinct terminal
+   outcomes, every one of them checker-clean. *)
+let test_flexcast_2x2_exhaustive () =
+  let s =
+    EFx.make_setup ~reorder_bound:1 ~topology:(topo [ 2; 2 ])
+      [ cast 1_000 0 [ 0; 1 ] "m0"; cast 2_000 2 [ 0; 1 ] "m1" ]
+  in
+  let o = EFx.explore s in
+  Alcotest.(check bool) "exhaustive" true o.EFx.stats.EFx.exhaustive;
+  Alcotest.(check int) "interleavings" 7 o.EFx.stats.EFx.interleavings;
+  Alcotest.(check int) "two consistent orders" 2 (List.length o.EFx.outcome_digests);
+  Alcotest.(check bool) "clean" true (o.EFx.violation = None)
+
+(* Flexcast over a hub overlay, model-checked with the overlay-aware
+   genuineness oracle at every terminal state: a spoke-to-spoke cast may
+   involve the hub (it relays), but nothing else. *)
+let test_flexcast_hub_exhaustive () =
+  let ov = Net.Overlay.hub ~groups:3 in
+  let config =
+    { Amcast.Protocol.Config.default with Amcast.Protocol.Config.overlay = Some ov }
+  in
+  let s =
+    EFx.make_setup ~reorder_bound:1 ~config
+      ~latency:(Net.Overlay.to_latency ov)
+      ~topology:(topo [ 1; 1; 1 ])
+      [ cast 1_000 2 [ 1; 2 ] "m0" ]
+  in
+  let check r =
+    Harness.Checker.check_all ~expect_genuine:true ~overlay:ov r
+  in
+  let o = EFx.explore ~opts:{ EFx.default_opts with EFx.check } s in
+  Alcotest.(check bool) "exhaustive" true o.EFx.stats.EFx.exhaustive;
+  Alcotest.(check int) "uniform outcome" 1 (List.length o.EFx.outcome_digests);
+  Alcotest.(check bool) "genuine on every schedule" true (o.EFx.violation = None)
 
 (* ---------- replay determinism ---------- *)
 
@@ -217,7 +303,66 @@ let test_corpus_skeen_reorder () =
   Alcotest.(check bool) "but m0.0 survives naturally" false
     (List.exists (fun m -> Util.contains m "m0.0") natural)
 
+(* The new-baseline corpus traces: seeded mutations against whitebox (a
+   dropped leader-to-leader stamp) and flexcast over a hub overlay (the
+   relay's forwarded data dropped). Both must replay to their recorded
+   violations bit-identically — same verdict and same outcome digest on
+   every replay. *)
+
+let replay_run t =
+  match Trace_file.replay t with
+  | Ok (r, violations) -> (r, violations)
+  | Error e -> Alcotest.failf "replay: %s" e
+
+let test_corpus_whitebox_stamp_drop () =
+  let t = load_corpus "whitebox_stamp_drop.trace" in
+  Alcotest.(check bool) "clique-model trace carries no overlay" true
+    (t.Trace_file.overlay = None);
+  let r1, v1 = replay_run t in
+  let r2, v2 = replay_run t in
+  Alcotest.(check bool) "violates" true (v1 <> []);
+  check_names "stalls the second cast" "m2.0" v1;
+  Alcotest.(check (list string)) "verdict is stable" v1 v2;
+  Alcotest.(check int) "bit-identical replay" (Explorer.digest r1)
+    (Explorer.digest r2)
+
+let test_corpus_flexcast_relay_drop () =
+  let t = load_corpus "flexcast_relay_drop.trace" in
+  Alcotest.(check bool) "records the hub overlay" true
+    (t.Trace_file.overlay = Some Net.Overlay.Hub);
+  let r1, v1 = replay_run t in
+  let r2, v2 = replay_run t in
+  Alcotest.(check bool) "violates" true (v1 <> []);
+  (* One dropped relay forward loses both spoke-to-spoke casts: the data
+     for the remote addressee only travels that route. *)
+  check_names "loses the first cast" "m1.0" v1;
+  check_names "loses the second cast" "m2.0" v1;
+  Alcotest.(check (list string)) "verdict is stable" v1 v2;
+  Alcotest.(check int) "bit-identical replay" (Explorer.digest r1)
+    (Explorer.digest r2)
+
 (* ---------- trace-file format ---------- *)
+
+let test_trace_file_overlay_roundtrip () =
+  let t =
+    Trace_file.make ~protocol:"flexcast" ~sizes:[ 1; 1; 1 ]
+      ~overlay:Net.Overlay.Ring
+      ~casts:[ (1_000, 0, [ 0; 2 ], "m0") ]
+      ()
+  in
+  Alcotest.(check bool) "overlay line emitted" true
+    (Util.contains (Trace_file.to_string t) "overlay ring");
+  (match Trace_file.of_string (Trace_file.to_string t) with
+  | Ok t' -> Alcotest.(check bool) "roundtrip" true (t = t')
+  | Error e -> Alcotest.failf "roundtrip: %s" e);
+  (* No overlay = no overlay line: clique-model traces stay byte-identical
+     to the pre-overlay format. *)
+  let plain = Trace_file.make ~protocol:"a1" ~sizes:[ 2; 2 ] () in
+  Alcotest.(check bool) "clique traces unchanged" false
+    (Util.contains (Trace_file.to_string plain) "overlay");
+  match Trace_file.of_string "amcast-mc-trace/v1\nprotocol flexcast\nsizes 1,1\noverlay moebius\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown overlay kind"
 
 let test_trace_file_roundtrip () =
   let t =
@@ -256,6 +401,16 @@ let suites =
           test_via_broadcast_1x1;
         Alcotest.test_case "optimistic 1x2, 2 casts: clean, uniform outcome"
           `Quick test_optimistic_1x2;
+        Alcotest.test_case "whitebox 1x1: POR vs naive, same outcomes" `Quick
+          test_whitebox_por_vs_naive;
+        Alcotest.test_case "whitebox 2x2, 2 casts: exhaustive, uniform" `Quick
+          test_whitebox_2x2_exhaustive;
+        Alcotest.test_case "flexcast 1x1: POR vs naive, same outcomes" `Quick
+          test_flexcast_por_vs_naive;
+        Alcotest.test_case "flexcast 2x2, 2 casts: exhaustive" `Quick
+          test_flexcast_2x2_exhaustive;
+        Alcotest.test_case "flexcast on a hub: genuine on every schedule"
+          `Quick test_flexcast_hub_exhaustive;
       ] );
     ( "mc.replay",
       [
@@ -278,10 +433,16 @@ let suites =
           test_corpus_a2_restart;
         Alcotest.test_case "skeen reorder: verdict depends on schedule" `Quick
           test_corpus_skeen_reorder;
+        Alcotest.test_case "whitebox stamp drop replays bit-identically"
+          `Quick test_corpus_whitebox_stamp_drop;
+        Alcotest.test_case "flexcast relay drop replays bit-identically"
+          `Quick test_corpus_flexcast_relay_drop;
       ] );
     ( "mc.trace_file",
       [
         Alcotest.test_case "round-trip" `Quick test_trace_file_roundtrip;
+        Alcotest.test_case "overlay line round-trip" `Quick
+          test_trace_file_overlay_roundtrip;
         Alcotest.test_case "rejects malformed input" `Quick
           test_trace_file_rejects_garbage;
       ] );

@@ -22,6 +22,8 @@ let all_protocols :
     ("ring", (module Amcast.Ring), false, false);
     ("scalable", (module Amcast.Scalable), false, false);
     ("sequencer", (module Amcast.Sequencer), true, false);
+    ("whitebox", (module Amcast.Whitebox), false, true);
+    ("flexcast", (module Amcast.Flexcast), false, false);
   ]
 
 (* --- The plan type itself. --- *)
@@ -144,6 +146,87 @@ let test_plan_replay_a1 () =
         (List.length (Harness.Run_result.deliveries_of r id)))
     [ id1; id2 ]
 
+(* --- Overlay-aware plans: partitions along cut edges. --- *)
+
+(* Severing a hub spoke mid-run, with flexcast actually routing over the
+   overlay: the casts in flight across the cut stall, safety holds
+   unconditionally, and liveness is owed only after the final heal. *)
+let test_hub_cut_partition_flexcast () =
+  let module R = Harness.Runner.Make (Amcast.Flexcast) in
+  let ov = Overlay.hub ~groups:3 in
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let config =
+    { Amcast.Protocol.Config.default with Amcast.Protocol.Config.overlay = Some ov }
+  in
+  (* (0, 1) is a bridge of the hub: cutting it isolates spoke 1. *)
+  let side_a, side_b = Overlay.side_of_cut ov ~cut:(0, 1) in
+  Alcotest.(check (list int)) "cut isolates the spoke" [ 1 ] side_b;
+  let plan =
+    N.make
+      [
+        { N.at = Sim_time.of_ms 40; action = N.Partition { side_a; side_b } };
+        { N.at = Sim_time.of_ms 400; action = N.Heal_all };
+      ]
+  in
+  let d =
+    R.deploy ~latency:(Overlay.to_latency ov) ~config ~nemesis:plan topo
+  in
+  (* One cast before the cut, one from inside the isolated spoke during
+     the window, one from the far spoke routed through the hub. *)
+  let id1 = R.cast_at d ~at:(Sim_time.of_ms 1) ~origin:2 ~dest:[ 0; 1 ] () in
+  let id2 = R.cast_at d ~at:(Sim_time.of_ms 60) ~origin:2 ~dest:[ 1; 2 ] () in
+  let id3 = R.cast_at d ~at:(Sim_time.of_ms 80) ~origin:4 ~dest:[ 1; 2 ] () in
+  let r = R.run_deployment d in
+  Util.check_no_violations "safety always, liveness after the heal"
+    (Harness.Checker.check_all ~check_quiescence:true ~overlay:ov
+       ~liveness_from:(N.liveness_from plan) r);
+  Alcotest.(check bool) "ran past the final heal" true
+    (Sim_time.( >= ) r.end_time (N.liveness_from plan));
+  List.iter
+    (fun (id, expect) ->
+      Alcotest.(check int)
+        (Fmt.str "%a delivered by every addressee" Msg_id.pp id)
+        expect
+        (List.length (Harness.Run_result.deliveries_of r id)))
+    [ (id1, 4); (id2, 4); (id3, 4) ]
+
+(* The generator sized to an overlay: every partition window must split
+   the groups along one of the overlay's bridges — random group splits
+   would cut a hub deployment in ways its links never fail. *)
+let test_generate_follows_cut_edges () =
+  let topo = Topology.symmetric ~groups:4 ~per_group:2 in
+  let ov = Overlay.hub ~groups:4 in
+  let sides_of_cuts =
+    List.map (fun cut -> Overlay.side_of_cut ov ~cut) (Overlay.cut_edges ov)
+  in
+  for seed = 0 to 9 do
+    let plan = N.generate ~rng:(Rng.create seed) ~topology:topo ~overlay:ov () in
+    List.iter
+      (fun s ->
+        match s.N.action with
+        | N.Partition { side_a; side_b } ->
+          if not (List.mem (side_a, side_b) sides_of_cuts) then
+            Alcotest.failf
+              "seed %d: partition {%s | %s} is not a cut of the hub" seed
+              (String.concat "," (List.map string_of_int side_a))
+              (String.concat "," (List.map string_of_int side_b))
+        | _ -> ())
+      (N.steps plan)
+  done;
+  (* Bridgeless overlays keep the random splits but still validate. *)
+  let ring_plan =
+    N.generate ~rng:(Rng.create 3) ~topology:topo
+      ~overlay:(Overlay.ring ~groups:4) ()
+  in
+  Alcotest.(check bool) "ring plan generated" false (N.is_empty ring_plan);
+  (* A mismatched overlay is a configuration bug, not a plan. *)
+  match
+    N.generate ~rng:(Rng.create 0) ~topology:topo
+      ~overlay:(Overlay.hub ~groups:5) ()
+  with
+  | _ -> Alcotest.fail "group-count mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
 (* --- Campaigns under generated plans, every protocol. --- *)
 
 let campaign_case (name, proto, broadcast_only, with_crashes) =
@@ -156,6 +239,27 @@ let campaign_case (name, proto, broadcast_only, with_crashes) =
         (Fmt.str "%s: all nemesis runs clean" name)
         summary.runs summary.clean;
       Alcotest.(check bool) "non-trivial" true (summary.delivered_total > 0))
+
+(* Campaigns over an overlay: the nemesis plans partition along the hub's
+   bridges, flexcast routes over it, and the parallel fan-out stays
+   bit-identical to the sequential run. No crash injection: flexcast is
+   Skeen-style, deliberately not fault-tolerant. *)
+let test_overlay_campaign_parallel_identical () =
+  let seq =
+    Harness.Campaign.run
+      (module Amcast.Flexcast)
+      ~overlay_kind:Overlay.Hub ~with_crashes:false ~with_nemesis:true
+      ~check_quiescence:true ~seed:77 ~runs:8 ()
+  in
+  let par =
+    Harness.Campaign.run_parallel
+      (module Amcast.Flexcast)
+      ~overlay_kind:Overlay.Hub ~with_crashes:false ~with_nemesis:true
+      ~check_quiescence:true ~domains:4 ~seed:77 ~runs:8 ()
+  in
+  Alcotest.(check int) "all overlay nemesis runs clean" seq.runs seq.clean;
+  Alcotest.(check bool) "non-trivial" true (seq.delivered_total > 0);
+  Alcotest.(check bool) "overlay summaries bit-identical" true (par = seq)
 
 let test_campaign_parallel_identical () =
   let seq =
@@ -283,8 +387,14 @@ let suites =
         Alcotest.test_case "generate is seed-deterministic" `Quick
           test_generate_deterministic;
         Alcotest.test_case "plan replay on a1" `Quick test_plan_replay_a1;
+        Alcotest.test_case "hub cut-edge partition on flexcast" `Quick
+          test_hub_cut_partition_flexcast;
+        Alcotest.test_case "generated plans follow cut edges" `Quick
+          test_generate_follows_cut_edges;
         Alcotest.test_case "parallel campaign bit-identical" `Slow
           test_campaign_parallel_identical;
+        Alcotest.test_case "overlay campaign bit-identical" `Slow
+          test_overlay_campaign_parallel_identical;
         storm_case "a1" (module Amcast.A1);
         storm_case "a2" (module Amcast.A2);
         Alcotest.test_case "a2 misprediction restart (Thm 5.2)" `Quick

@@ -1,0 +1,226 @@
+(* Overlay graphs over the group ids: construction, deterministic routing
+   tables, cut-edge analysis, the derived latency model, and the
+   validation errors for malformed overlays and clique-assuming
+   configuration (Workload destinations, topology/overlay mismatch). *)
+
+open Net
+module O = Overlay
+
+(* ---------- construction ---------- *)
+
+let test_kind_names () =
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "kind_of_name inverts kind_name"
+        (Some (O.kind_name k))
+        (Option.map O.kind_name (O.kind_of_name (O.kind_name k))))
+    [ O.Clique; O.Hub; O.Ring; O.Tree ];
+  Alcotest.(check bool) "unknown kind rejected" true (O.kind_of_name "torus" = None)
+
+let test_clique_shape () =
+  let ov = O.clique ~groups:4 in
+  Alcotest.(check int) "edge count" 6 (List.length (O.edges ov));
+  Alcotest.(check bool) "is_clique" true (O.is_clique ov);
+  Alcotest.(check (list int)) "every other group adjacent" [ 0; 2; 3 ] (O.neighbors ov 1)
+
+let test_hub_shape () =
+  let ov = O.hub ~groups:4 in
+  Alcotest.(check int) "edge count" 3 (List.length (O.edges ov));
+  Alcotest.(check bool) "not a clique" false (O.is_clique ov);
+  Alcotest.(check (list int)) "hub sees every spoke" [ 1; 2; 3 ] (O.neighbors ov 0);
+  Alcotest.(check (list int)) "spokes see only the hub" [ 0 ] (O.neighbors ov 2)
+
+let test_tree_shape () =
+  let ov = O.tree ~groups:7 in
+  Alcotest.(check int) "edge count" 6 (List.length (O.edges ov));
+  (* Binary heap layout: group g's parent is (g-1)/2. *)
+  Alcotest.(check (list int)) "root's children" [ 1; 2 ] (O.neighbors ov 0);
+  Alcotest.(check (list int)) "interior node" [ 0; 3; 4 ] (O.neighbors ov 1);
+  Alcotest.(check (list int)) "leaf" [ 2 ] (O.neighbors ov 6)
+
+(* ---------- routing tables ---------- *)
+
+let test_hub_routes () =
+  let ov = O.hub ~groups:4 in
+  Alcotest.(check (list int)) "spoke-to-spoke via the hub" [ 1; 0; 3 ]
+    (O.route ov ~src:1 ~dst:3);
+  Alcotest.(check int) "two hops" 2 (O.hops ov ~src:1 ~dst:3);
+  Alcotest.(check int) "summed intercontinental delay" 100_000
+    (O.dist_us ov ~src:1 ~dst:3);
+  Alcotest.(check int) "both links cross continents" 2
+    (O.inter_crossings ov ~src:1 ~dst:3);
+  Alcotest.(check int) "adjacent pair is direct" 1 (O.hops ov ~src:0 ~dst:2)
+
+let test_ring_routes () =
+  let ov = O.ring ~groups:5 in
+  (* 0 -> 2: two hops via 1 beat three via 4. *)
+  Alcotest.(check (list int)) "shorter arc" [ 0; 1; 2 ] (O.route ov ~src:0 ~dst:2);
+  Alcotest.(check (list int)) "wraps the other way" [ 0; 4; 3 ]
+    (O.route ov ~src:0 ~dst:3);
+  Alcotest.(check int) "continental delay summed" 40_000 (O.dist_us ov ~src:0 ~dst:2);
+  Alcotest.(check int) "no intercontinental links" 0 (O.inter_crossings ov ~src:0 ~dst:2)
+
+(* Regression for the Floyd–Warshall next-hop corruption: with [k = i]
+   admitted as an interior point, the relaxation's candidate tuple reused
+   [next.(i).(i) = i], whose low id won delay/hop ties and made a group
+   its own next hop — FlexCast then forwarded to itself forever. The
+   first hop must always be a neighbor of the source, never the source. *)
+let test_next_hop_is_a_proper_neighbor () =
+  List.iter
+    (fun ov ->
+      let g = O.groups ov in
+      for i = 0 to g - 1 do
+        let nbrs = O.neighbors ov i in
+        for j = 0 to g - 1 do
+          if i <> j then begin
+            let n = O.next_hop ov ~src:i ~dst:j in
+            if n = i || not (List.mem n nbrs) then
+              Alcotest.failf "next_hop %d->%d = %d is not a proper neighbor" i j n
+          end
+        done
+      done)
+    [ O.hub ~groups:5; O.ring ~groups:6; O.tree ~groups:7; O.clique ~groups:4 ]
+
+let test_routes_are_deterministic_functions_of_edges () =
+  let a = O.tree ~groups:7 and b = O.tree ~groups:7 in
+  for i = 0 to 6 do
+    for j = 0 to 6 do
+      Alcotest.(check (list int))
+        (Fmt.str "route %d->%d" i j)
+        (O.route a ~src:i ~dst:j) (O.route b ~src:i ~dst:j)
+    done
+  done
+
+(* ---------- participants ---------- *)
+
+let test_participants_cover_stamp_routes () =
+  let ov = O.hub ~groups:4 in
+  (* src group 1 casting to {1, 3}: the data route 1-0-3 and the
+     dest-pair stamp route pull in the hub. *)
+  Alcotest.(check (list int)) "hub is a participant" [ 0; 1; 3 ]
+    (O.participants ov ~src:1 ~dsts:[ 1; 3 ]);
+  (* A cast the hub serves directly involves nobody else. *)
+  Alcotest.(check (list int)) "direct cast stays minimal" [ 0; 2 ]
+    (O.participants ov ~src:0 ~dsts:[ 2 ]);
+  Alcotest.(check (list int)) "single-group cast involves nobody else" [ 1 ]
+    (O.participants ov ~src:1 ~dsts:[ 1 ])
+
+(* ---------- cut edges ---------- *)
+
+let test_cut_edges () =
+  Alcotest.(check (list (pair int int))) "every hub edge is a bridge"
+    [ (0, 1); (0, 2); (0, 3) ]
+    (O.cut_edges (O.hub ~groups:4));
+  Alcotest.(check (list (pair int int))) "rings have no bridges" []
+    (O.cut_edges (O.ring ~groups:5));
+  Alcotest.(check (list (pair int int))) "cliques have no bridges" []
+    (O.cut_edges (O.clique ~groups:3));
+  Alcotest.(check int) "every tree edge is a bridge" 6
+    (List.length (O.cut_edges (O.tree ~groups:7)))
+
+let test_side_of_cut () =
+  let ov = O.hub ~groups:4 in
+  let a, b = O.side_of_cut ov ~cut:(0, 2) in
+  Alcotest.(check (list int)) "hub keeps the other spokes" [ 0; 1; 3 ] a;
+  Alcotest.(check (list int)) "the severed spoke is alone" [ 2 ] b;
+  let subtree_a, subtree_b = O.side_of_cut (O.tree ~groups:7) ~cut:(1, 3) in
+  Alcotest.(check (list int)) "subtree split" [ 0; 1; 2; 4; 5; 6 ] subtree_a;
+  Alcotest.(check (list int)) "severed subtree" [ 3 ] subtree_b;
+  match O.side_of_cut (O.ring ~groups:4) ~cut:(0, 1) with
+  | _ -> Alcotest.fail "ring edge accepted as a bridge"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- derived latency ---------- *)
+
+let test_to_latency_uses_routed_delays () =
+  let ov = O.hub ~groups:3 in
+  let l = O.to_latency ov in
+  Alcotest.(check int) "adjacent pair: one link" 50_000
+    (Des.Sim_time.to_us (Latency.base l ~src_group:0 ~dst_group:1));
+  Alcotest.(check int) "spoke pair: routed delay" 100_000
+    (Des.Sim_time.to_us (Latency.base l ~src_group:1 ~dst_group:2));
+  Alcotest.(check int) "intra-group default" 1_000
+    (Des.Sim_time.to_us (Latency.base l ~src_group:1 ~dst_group:1));
+  (* Zero jitter by default: the sample equals the base, so overlay
+     latencies are model-checking safe. *)
+  let rng = Des.Rng.create 42 in
+  Alcotest.(check int) "no jitter drawn" 100_000
+    (Des.Sim_time.to_us (Latency.sample l rng ~src_group:1 ~dst_group:2))
+
+(* ---------- validation errors ---------- *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: accepted" name
+  | exception Invalid_argument _ -> ()
+
+let test_malformed_overlays_rejected () =
+  expect_invalid "disconnected" (fun () ->
+      O.of_edges ~groups:4 [ (0, 1, O.Metro); (2, 3, O.Metro) ]);
+  expect_invalid "self-loop" (fun () -> O.of_edges ~groups:2 [ (1, 1, O.Metro) ]);
+  expect_invalid "out-of-range endpoint" (fun () ->
+      O.of_edges ~groups:2 [ (0, 2, O.Metro) ]);
+  expect_invalid "one pair, two classes" (fun () ->
+      O.of_edges ~groups:2 [ (0, 1, O.Metro); (1, 0, O.Continental) ]);
+  expect_invalid "no groups" (fun () -> O.of_edges ~groups:0 []);
+  expect_invalid "two-group ring" (fun () -> O.ring ~groups:2);
+  expect_invalid "of_kind custom" (fun () -> O.of_kind O.Custom ~groups:3)
+
+let test_check_topology_mismatch () =
+  let ov = O.hub ~groups:3 in
+  O.check_topology ov (Topology.symmetric ~groups:3 ~per_group:2);
+  expect_invalid "group-count mismatch" (fun () ->
+      O.check_topology ov (Topology.symmetric ~groups:4 ~per_group:2))
+
+(* ---------- Workload destination validation ---------- *)
+
+let test_workload_fixed_groups_validated () =
+  let topo = Topology.symmetric ~groups:3 ~per_group:2 in
+  let gen dest =
+    Harness.Workload.generate ~rng:(Des.Rng.create 1) ~topology:topo ~n:4 ~dest
+      ~arrival:(`Every (Des.Sim_time.of_ms 10))
+      ()
+  in
+  expect_invalid "empty group list" (fun () ->
+      gen (Harness.Workload.Fixed_groups []));
+  expect_invalid "out-of-range group" (fun () ->
+      gen (Harness.Workload.Fixed_groups [ 0; 3 ]));
+  expect_invalid "negative group" (fun () ->
+      gen (Harness.Workload.Fixed_groups [ -1 ]));
+  let w = gen (Harness.Workload.Fixed_groups [ 0; 2 ]) in
+  List.iter
+    (fun (c : Harness.Workload.cast) ->
+      Alcotest.(check (list int)) "casts stay inside the listed groups" []
+        (List.filter (fun g -> g <> 0 && g <> 2) c.dest))
+    w
+
+let suites =
+  [
+    ( "overlay",
+      [
+        Alcotest.test_case "kind names round-trip" `Quick test_kind_names;
+        Alcotest.test_case "clique shape" `Quick test_clique_shape;
+        Alcotest.test_case "hub shape" `Quick test_hub_shape;
+        Alcotest.test_case "tree shape" `Quick test_tree_shape;
+        Alcotest.test_case "hub routes via the hub" `Quick test_hub_routes;
+        Alcotest.test_case "ring takes the shorter arc" `Quick test_ring_routes;
+        Alcotest.test_case "next hop is a proper neighbor (FW regression)"
+          `Quick test_next_hop_is_a_proper_neighbor;
+        Alcotest.test_case "routing tables are deterministic" `Quick
+          test_routes_are_deterministic_functions_of_edges;
+        Alcotest.test_case "participants cover stamp routes" `Quick
+          test_participants_cover_stamp_routes;
+        Alcotest.test_case "cut edges" `Quick test_cut_edges;
+        Alcotest.test_case "side_of_cut splits at a bridge" `Quick
+          test_side_of_cut;
+        Alcotest.test_case "to_latency uses routed delays" `Quick
+          test_to_latency_uses_routed_delays;
+        Alcotest.test_case "malformed overlays rejected" `Quick
+          test_malformed_overlays_rejected;
+        Alcotest.test_case "overlay/topology mismatch rejected" `Quick
+          test_check_topology_mismatch;
+        Alcotest.test_case "workload Fixed_groups validated" `Quick
+          test_workload_fixed_groups_validated;
+      ] );
+  ]

@@ -608,6 +608,108 @@ let prop_a2_causal_chain (seed, chain_len) =
   Harness.Checker.check_all r = []
   && Harness.Checker.causal_delivery_order r = []
 
+(* ----- Modern baselines: differentials against their classic twins ----- *)
+
+module RWb = Harness.Runner.Make (Amcast.Whitebox)
+module RFx = Harness.Runner.Make (Amcast.Flexcast)
+
+(* FlexCast without an overlay degenerates to plain Skeen: every group is
+   adjacent, path timestamps stay zero, stamps flow directly. On crisp
+   (deterministic) latencies the two must produce identical per-process
+   delivery sequences — not merely equivalent orders, the same sequences. *)
+let prop_flexcast_clique_equals_skeen s =
+  let topo = topology_of s in
+  let w = workload_of s topo in
+  let seq_of r p =
+    List.map
+      (fun (m : Amcast.Msg.t) -> m.id)
+      (Harness.Run_result.sequence_of r p)
+  in
+  let rs = RSkeen.run ~seed:s.seed ~latency:Util.crisp_latency topo w in
+  let rf = RFx.run ~seed:s.seed ~latency:Util.crisp_latency topo w in
+  ignore (assert_clean s (Harness.Checker.check_all ~expect_genuine:true rf));
+  List.for_all
+    (fun p ->
+      List.equal Runtime.Msg_id.equal (seq_of rs p) (seq_of rf p)
+      || QCheck2.Test.fail_reportf
+           "scenario %s: p%d delivered [%a] under flexcast, [%a] under skeen"
+           (pp_scenario s) p
+           Fmt.(list ~sep:comma Runtime.Msg_id.pp)
+           (seq_of rf p)
+           Fmt.(list ~sep:comma Runtime.Msg_id.pp)
+           (seq_of rs p))
+    (Topology.all_pids topo)
+
+(* Whitebox against A1 on the same seeded grid: the checker verdict is
+   identical (clean, including genuineness) and every process delivers the
+   same set of messages — the global orders may differ (convoy timestamps
+   vs consensus rounds), but never the delivered sets. *)
+let prop_whitebox_verdict_equals_a1 s =
+  let topo = topology_of s in
+  let w = workload_of s topo in
+  let ra = RA1.run ~seed:s.seed ~latency:(latency_of s) topo w in
+  let rw = RWb.run ~seed:s.seed ~latency:(latency_of s) topo w in
+  let va = Harness.Checker.check_all ~expect_genuine:true ra in
+  let vw = Harness.Checker.check_all ~expect_genuine:true rw in
+  ignore (assert_clean s va);
+  (va = vw
+  ||
+  QCheck2.Test.fail_reportf "scenario %s: whitebox verdict differs:@.%a"
+    (pp_scenario s)
+    Fmt.(list ~sep:(any "@.") string)
+    vw)
+  && List.for_all
+       (fun p ->
+         let ids r =
+           List.sort Runtime.Msg_id.compare
+             (List.map
+                (fun (m : Amcast.Msg.t) -> m.Amcast.Msg.id)
+                (Harness.Run_result.sequence_of r p))
+         in
+         List.equal Runtime.Msg_id.equal (ids ra) (ids rw)
+         || QCheck2.Test.fail_reportf
+              "scenario %s: p%d delivered different sets under whitebox"
+              (pp_scenario s) p)
+       (Topology.all_pids topo)
+
+(* FlexCast genuineness over a hub, trace-level: when every cast stays
+   inside the {hub, first-spoke} pair, the remaining spokes neither send a
+   single protocol message nor deliver anything — they are not even
+   relays, since no route to groups 0 or 1 passes through them. *)
+let prop_flexcast_offpath_groups_silent (seed, groups, per_group, n_msgs) =
+  let topo = Topology.symmetric ~groups ~per_group in
+  let ov = Overlay.hub ~groups in
+  let config =
+    { Amcast.Protocol.Config.default with Amcast.Protocol.Config.overlay = Some ov }
+  in
+  let onpath =
+    Topology.members topo 0 @ Topology.members topo 1
+  in
+  let w =
+    Harness.Workload.generate ~rng:(Rng.create seed) ~topology:topo ~n:n_msgs
+      ~dest:(Harness.Workload.Fixed_groups [ 0; 1 ])
+      ~arrival:(`Poisson (Sim_time.of_ms 20))
+      ~origins:onpath ()
+  in
+  let r =
+    RFx.run ~seed ~latency:(Overlay.to_latency ov) ~config topo w
+  in
+  let offpath p = not (List.mem p onpath) in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Runtime.Trace.Send { src; tag; _ } when offpath src ->
+        QCheck2.Test.fail_reportf "off-path p%d sent a %s message" src tag
+      | Runtime.Trace.Deliver { pid; _ } when offpath pid ->
+        QCheck2.Test.fail_reportf "off-path p%d delivered" pid
+      | _ -> ())
+    (Runtime.Trace.entries r.trace);
+  Harness.Checker.check_all ~expect_genuine:true ~overlay:ov r = []
+
+let modern_scenario_gen =
+  QCheck2.Gen.(
+    quad (int_bound 1_000_000) (int_range 3 5) (int_range 1 3) (int_range 1 8))
+
 let suites =
   [
     ( "properties",
@@ -673,5 +775,13 @@ let suites =
         Util.qcheck_case ~count:15 ~name:"a2: warm rounds are degree 1"
           QCheck2.Gen.(triple (int_bound 100_000) (int_bound 2) (int_bound 2))
           prop_a2_warm_degree_one;
+        Util.qcheck_case ~count:15
+          ~name:"flexcast on a clique = skeen, sequence-identical"
+          scenario_gen prop_flexcast_clique_equals_skeen;
+        Util.qcheck_case ~count:15 ~name:"whitebox: verdicts identical to a1"
+          scenario_gen prop_whitebox_verdict_equals_a1;
+        Util.qcheck_case ~count:15
+          ~name:"flexcast on a hub: off-path groups are silent"
+          modern_scenario_gen prop_flexcast_offpath_groups_silent;
       ] );
   ]
